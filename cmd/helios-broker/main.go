@@ -1,0 +1,44 @@
+// Command helios-broker runs the durable queue service all Helios stages
+// communicate through (the Kafka role of §4.1), plus the coordinator's
+// heartbeat endpoint.
+//
+// Usage:
+//
+//	helios-broker -listen 127.0.0.1:7070 [-dir /var/lib/helios] [-retain 1000000]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"helios/internal/mq"
+	"helios/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
+	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
+	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	flag.Parse()
+
+	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
+	srv := rpc.NewServer()
+	mq.ServeBroker(broker, srv)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("helios-broker: %v", err)
+	}
+	log.Printf("helios-broker: serving on %s (dir=%q retain=%d)", addr, *dir, *retain)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("helios-broker: shutting down")
+	srv.Close()
+	if err := broker.Close(); err != nil {
+		log.Printf("helios-broker: close: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Command helios-datagen generates the synthetic dataset streams used by
+// the experiments (Table 1 shapes; see DESIGN.md for how they substitute
+// for LDBC/Taobao) and either prints statistics or writes a binary update
+// stream loadable by applications.
+//
+// Usage:
+//
+//	helios-datagen -dataset INTER -scale 0.5 -stats
+//	helios-datagen -dataset Taobao -scale 1 -out taobao.stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"helios/internal/streamfile"
+	"helios/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "INTER", "BI | INTER | INTER-3hop | FIN | Taobao")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	out := flag.String("out", "", "write length-framed update stream to this file")
+	stats := flag.Bool("stats", false, "print Table 1-style statistics")
+	seed := flag.Int64("seed", 0, "override the dataset's default seed (0 keeps it)")
+	flag.Parse()
+
+	var spec workload.DatasetSpec
+	switch strings.ToUpper(*dataset) {
+	case "BI":
+		spec = workload.BI()
+	case "INTER":
+		spec = workload.INTER()
+	case "INTER-3HOP":
+		spec = workload.INTER3()
+	case "FIN":
+		spec = workload.FIN()
+	case "TAOBAO":
+		spec = workload.Taobao()
+	default:
+		log.Fatalf("helios-datagen: unknown dataset %q", *dataset)
+	}
+	spec = spec.Scale(*scale)
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		log.Fatalf("helios-datagen: %v", err)
+	}
+	gen.TrackDegrees(*stats)
+
+	var w *streamfile.Writer
+	if *out != "" {
+		var err error
+		if w, err = streamfile.Create(*out); err != nil {
+			log.Fatalf("helios-datagen: %v", err)
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				log.Fatalf("helios-datagen: close: %v", err)
+			}
+		}()
+	}
+
+	n := 0
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		n++
+		if w != nil {
+			if err := w.Append(u); err != nil {
+				log.Fatalf("helios-datagen: write: %v", err)
+			}
+		}
+	}
+	fmt.Printf("dataset=%s scale=%g updates=%d\n", spec.Name, *scale, n)
+	if *stats {
+		d := gen.Degrees()
+		fmt.Printf("out-degree max/min/avg = %d/%d/%.2f\n", d.Max, d.Min, d.Avg)
+	}
+	if *out != "" {
+		fmt.Printf("stream written to %s\n", *out)
+	}
+}

@@ -1,0 +1,51 @@
+// Command helios-frontend runs the Helios front-end node: it routes graph
+// updates into the broker and inference requests to the serving worker
+// owning each seed (§4.1), exposed as an HTTP gateway.
+//
+// Usage:
+//
+//	helios-frontend -config cluster.json -broker 127.0.0.1:7070 \
+//	    -servers 127.0.0.1:7081,127.0.0.1:7082 -listen 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"helios/internal/deploy"
+	"helios/internal/frontend"
+	"helios/internal/mq"
+)
+
+func main() {
+	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
+	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, in worker-ID order")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	flag.Parse()
+
+	cfg, err := deploy.Load(*configPath)
+	if err != nil {
+		log.Fatalf("helios-frontend: %v", err)
+	}
+	addrs := strings.Split(*servers, ",")
+	if *servers == "" {
+		log.Fatalf("helios-frontend: -servers is required")
+	}
+	bus, err := mq.DialBroker(*brokerAddr, 0)
+	if err != nil {
+		log.Fatalf("helios-frontend: dial broker: %v", err)
+	}
+	defer bus.Close()
+
+	fe, err := frontend.New(cfg, bus, addrs)
+	if err != nil {
+		log.Fatalf("helios-frontend: %v", err)
+	}
+	defer fe.Close()
+
+	log.Printf("helios-frontend: HTTP on %s routing to %d serving workers", *listen, len(addrs))
+	log.Fatal(http.ListenAndServe(*listen, fe.Handler()))
+}

@@ -1,0 +1,95 @@
+// Command helios-sampler runs one Helios sampling worker (§4.2): it owns
+// one partition of the graph-update stream, maintains the reservoir,
+// feature and subscription tables for every registered one-hop query, and
+// publishes refreshed samples to the serving workers' queues.
+//
+// Usage:
+//
+//	helios-sampler -config cluster.json -broker 127.0.0.1:7070 -id 0
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"helios/internal/deploy"
+	"helios/internal/mq"
+	"helios/internal/sampler"
+)
+
+func main() {
+	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
+	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	id := flag.Int("id", 0, "this worker's index in [0, samplers)")
+	sampleThreads := flag.Int("sample-threads", 0, "sampling actor count (0 = default)")
+	publishThreads := flag.Int("publish-threads", 0, "publisher actor count (0 = default)")
+	seed := flag.Int64("seed", 1, "sampling RNG seed")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
+	flag.Parse()
+
+	cfg, err := deploy.Load(*configPath)
+	if err != nil {
+		log.Fatalf("helios-sampler: %v", err)
+	}
+	bus, err := mq.DialBroker(*brokerAddr, 0)
+	if err != nil {
+		log.Fatalf("helios-sampler: dial broker: %v", err)
+	}
+	defer bus.Close()
+
+	w, err := sampler.New(sampler.Config{
+		ID:             *id,
+		NumSamplers:    cfg.File.Samplers,
+		NumServers:     cfg.File.Servers,
+		Plans:          cfg.Plans,
+		Schema:         cfg.Schema,
+		Broker:         bus,
+		SampleThreads:  *sampleThreads,
+		PublishThreads: *publishThreads,
+		TTL:            cfg.TTL,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatalf("helios-sampler: %v", err)
+	}
+	if *checkpoint != "" {
+		if err := w.RestoreFile(*checkpoint); err == nil {
+			log.Printf("helios-sampler: restored checkpoint %s", *checkpoint)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("helios-sampler: restore: %v", err)
+		}
+	}
+	w.Start()
+	log.Printf("helios-sampler: worker %d/%d running (%d queries)",
+		*id, cfg.File.Samplers, len(cfg.Plans))
+
+	stopCkpt := make(chan struct{})
+	if *checkpoint != "" {
+		go func() {
+			t := time.NewTicker(*checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if err := w.CheckpointFile(*checkpoint); err != nil {
+						log.Printf("helios-sampler: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopCkpt)
+	log.Printf("helios-sampler: draining (stats: %+v)", w.Stats())
+	w.Stop()
+}

@@ -1,0 +1,92 @@
+// Command helios-server runs one Helios serving worker (§4.3, §6): it
+// consumes its sample queue into the query-aware sample cache and serves
+// K-hop sampling queries over RPC for the frontend.
+//
+// Usage:
+//
+//	helios-server -config cluster.json -broker 127.0.0.1:7070 -id 0 -listen 127.0.0.1:7081
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"helios/internal/deploy"
+	"helios/internal/kvstore"
+	"helios/internal/mq"
+	"helios/internal/rpc"
+	"helios/internal/serving"
+)
+
+func main() {
+	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
+	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	id := flag.Int("id", 0, "this worker's index in [0, servers)")
+	listen := flag.String("listen", "127.0.0.1:0", "address to serve sampling RPC on")
+	cacheDir := flag.String("cache-dir", "", "hybrid-mode cache spill directory (empty = memory only)")
+	cacheBudget := flag.Int64("cache-mem", 0, "cache memory budget in bytes before spilling (0 = default)")
+	serveThreads := flag.Int("serve-threads", 0, "serving actor count (0 = default)")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
+	flag.Parse()
+
+	cfg, err := deploy.Load(*configPath)
+	if err != nil {
+		log.Fatalf("helios-server: %v", err)
+	}
+	bus, err := mq.DialBroker(*brokerAddr, 0)
+	if err != nil {
+		log.Fatalf("helios-server: dial broker: %v", err)
+	}
+	defer bus.Close()
+
+	w, err := serving.New(serving.Config{
+		ID:           *id,
+		NumServers:   cfg.File.Servers,
+		Plans:        cfg.Plans,
+		Broker:       bus,
+		Store:        kvstore.Options{Dir: *cacheDir, MemBudgetBytes: *cacheBudget},
+		ServeThreads: *serveThreads,
+		TTL:          cfg.TTL,
+	})
+	if err != nil {
+		log.Fatalf("helios-server: %v", err)
+	}
+	w.Start()
+
+	srv := rpc.NewServer()
+	serving.ServeRPC(w, srv)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("helios-server: %v", err)
+	}
+	log.Printf("helios-server: worker %d/%d serving on %s", *id, cfg.File.Servers, addr)
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					st := w.Stats()
+					log.Printf("helios-server: served=%d applied=%d cache=%dB lat{%s} ingest{%s}",
+						st.Served, st.Applied, st.CacheBytes, st.QueryLatency, st.IngestLatency)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	srv.Close()
+	w.Stop()
+}

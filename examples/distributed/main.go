@@ -1,0 +1,174 @@
+// Distributed topology demo: assembles the exact multi-process deployment
+// the cmd/ binaries run — broker server, sampling workers and serving
+// workers talking to it over RPC broker clients, serving RPC endpoints, and
+// the HTTP frontend — inside one process, so you can watch the whole §4.1
+// architecture work end to end without juggling six terminals.
+//
+// (To run it as real separate processes, see the README's
+// "Multi-process deployment" section; every component below corresponds
+// 1:1 to one of the helios-* binaries.)
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"helios/internal/deploy"
+	"helios/internal/frontend"
+	"helios/internal/mq"
+	"helios/internal/rpc"
+	"helios/internal/sampler"
+	"helios/internal/serving"
+)
+
+const clusterConfig = `{
+  "samplers": 2,
+  "servers": 2,
+  "vertexTypes": ["User", "Item"],
+  "edgeTypes": [
+    {"name": "Click", "src": "User", "dst": "Item"},
+    {"name": "CoPurchase", "src": "Item", "dst": "Item"}
+  ],
+  "queries": [
+    "g.V('User').outV('Click').sample(3).by('TopK').outV('CoPurchase').sample(2).by('TopK')"
+  ]
+}`
+
+func main() {
+	cfg, err := deploy.Parse([]byte(clusterConfig))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- helios-broker ---
+	broker := mq.NewBroker(mq.Options{})
+	brokerSrv := rpc.NewServer()
+	mq.ServeBroker(broker, brokerSrv)
+	brokerAddr, err := brokerSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer brokerSrv.Close()
+	defer broker.Close()
+	fmt.Println("broker listening on", brokerAddr)
+
+	// --- helios-sampler ×2 ---
+	for i := 0; i < cfg.File.Samplers; i++ {
+		bus, err := mq.DialBroker(brokerAddr, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bus.Close()
+		w, err := sampler.New(sampler.Config{
+			ID: i, NumSamplers: cfg.File.Samplers, NumServers: cfg.File.Servers,
+			Plans: cfg.Plans, Schema: cfg.Schema, Broker: bus, Seed: int64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Start()
+		defer w.Stop()
+		fmt.Printf("sampling worker %d running\n", i)
+	}
+
+	// --- helios-server ×2 ---
+	var servingAddrs []string
+	for i := 0; i < cfg.File.Servers; i++ {
+		bus, err := mq.DialBroker(brokerAddr, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bus.Close()
+		w, err := serving.New(serving.Config{
+			ID: i, NumServers: cfg.File.Servers, Plans: cfg.Plans, Broker: bus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Start()
+		defer w.Stop()
+		srv := rpc.NewServer()
+		serving.ServeRPC(w, srv)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servingAddrs = append(servingAddrs, addr)
+		fmt.Printf("serving worker %d on %s\n", i, addr)
+	}
+
+	// --- helios-frontend ---
+	fbus, err := mq.DialBroker(brokerAddr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fbus.Close()
+	fe, err := frontend.New(cfg, fbus, servingAddrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+	gwSrv := &http.Server{Handler: fe.Handler()}
+	ln, err := listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	go gwSrv.Serve(ln)
+	defer gwSrv.Close()
+	gateway := "http://" + ln.Addr().String()
+	fmt.Println("HTTP frontend on", gateway)
+
+	// Drive the system through the public HTTP gateway, exactly as an
+	// application would.
+	post := func(path string, body map[string]any) {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(gateway+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	post("/ingest/vertex", map[string]any{"id": 1, "type": "User", "feature": []float32{1}})
+	for i := 0; i < 3; i++ {
+		post("/ingest/vertex", map[string]any{"id": 100 + i, "type": "Item", "feature": []float32{float32(i)}})
+		post("/ingest/edge", map[string]any{"src": 1, "dst": 100 + i, "type": "Click", "ts": i + 1})
+	}
+	post("/ingest/edge", map[string]any{"src": 100, "dst": 102, "type": "CoPurchase", "ts": 10})
+
+	// Poll until the pre-sampled subgraph materializes across the
+	// distributed pipeline.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out struct {
+			Layers [][]uint64 `json:"layers"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if len(out.Layers) == 3 && len(out.Layers[1]) == 3 {
+			fmt.Printf("sample for seed 1: hop-1=%v hop-2=%v\n", out.Layers[1], out.Layers[2])
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("subgraph never materialized")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("distributed topology demo complete")
+}
+
+// listen binds an ephemeral loopback port for the HTTP gateway.
+func listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

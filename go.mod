@@ -1,0 +1,3 @@
+module helios
+
+go 1.22

@@ -1,0 +1,118 @@
+// Package deploy loads the shared cluster configuration used by the
+// multi-process binaries (cmd/helios-broker, -sampler, -server, -frontend).
+// Every process loads the same JSON file and derives the identical schema
+// and decomposed query plans, so no runtime plan distribution is needed —
+// Helios queries are fixed at deployment time because the GNN model's
+// sampling pattern is fixed by training (§1).
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"helios/internal/graph"
+	"helios/internal/query"
+)
+
+// File is the on-disk JSON configuration.
+type File struct {
+	// Samplers (M) and Servers (N).
+	Samplers int `json:"samplers"`
+	Servers  int `json:"servers"`
+	// VertexTypes declares the schema's vertex type names in ID order.
+	VertexTypes []string `json:"vertexTypes"`
+	// EdgeTypes declares typed edges.
+	EdgeTypes []EdgeType `json:"edgeTypes"`
+	// Queries are DSL strings (Fig. 1 syntax); query ID = index.
+	Queries []string `json:"queries"`
+	// TTLSeconds expires stale state; 0 disables.
+	TTLSeconds int `json:"ttlSeconds"`
+}
+
+// EdgeType is one schema edge declaration.
+type EdgeType struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+}
+
+// Config is the derived runtime configuration.
+type Config struct {
+	File    File
+	Schema  *graph.Schema
+	Queries []query.Query
+	Plans   []*query.Plan
+	TTL     time.Duration
+}
+
+// Load reads and derives a configuration from path.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse derives a configuration from JSON bytes.
+func Parse(data []byte) (*Config, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("deploy: parse config: %w", err)
+	}
+	if f.Samplers < 1 || f.Servers < 1 {
+		return nil, fmt.Errorf("deploy: samplers and servers must be ≥ 1")
+	}
+	if len(f.Queries) == 0 {
+		return nil, fmt.Errorf("deploy: at least one query is required")
+	}
+	cfg := &Config{File: f, Schema: graph.NewSchema(), TTL: time.Duration(f.TTLSeconds) * time.Second}
+	for _, name := range f.VertexTypes {
+		cfg.Schema.AddVertexType(name)
+	}
+	for _, et := range f.EdgeTypes {
+		src, ok := cfg.Schema.VertexTypeID(et.Src)
+		if !ok {
+			return nil, fmt.Errorf("deploy: edge %q references unknown vertex type %q", et.Name, et.Src)
+		}
+		dst, ok := cfg.Schema.VertexTypeID(et.Dst)
+		if !ok {
+			return nil, fmt.Errorf("deploy: edge %q references unknown vertex type %q", et.Name, et.Dst)
+		}
+		cfg.Schema.AddEdgeType(et.Name, src, dst)
+	}
+	for i, src := range f.Queries {
+		q, err := query.Parse(src, cfg.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: query %d: %w", i, err)
+		}
+		q.Name = fmt.Sprintf("q%d", i)
+		plan, err := query.Decompose(query.ID(i), q, cfg.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: query %d: %w", i, err)
+		}
+		cfg.Queries = append(cfg.Queries, q)
+		cfg.Plans = append(cfg.Plans, plan)
+	}
+	return cfg, nil
+}
+
+// EdgeRouting returns, per edge type, whether Out/In-keyed routing is
+// needed by any registered hop (the frontend's update routing rule).
+func (c *Config) EdgeRouting() map[graph.EdgeType][2]bool {
+	dirs := make(map[graph.EdgeType][2]bool)
+	for _, plan := range c.Plans {
+		for _, oh := range plan.OneHops {
+			d := dirs[oh.Edge]
+			if oh.Dir == graph.In {
+				d[1] = true
+			} else {
+				d[0] = true
+			}
+			dirs[oh.Edge] = d
+		}
+	}
+	return dirs
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration that completes each experiment in a couple
+// of seconds while preserving the qualitative shapes.
+func tiny() Config {
+	return Config{
+		Scale:         0.02,
+		Duration:      300 * time.Millisecond,
+		Concurrencies: []int{8},
+		Samplers:      2,
+		Servers:       2,
+		BaselineNodes: 2,
+		Seed:          7,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Dataset] = r
+		if r.Vertices == 0 || r.Edges == 0 || r.Degrees.Max == 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	// Shape invariants from Table 1: BI has more vertices than edges per
+	// vertex (avg degree ~1), INTER is dense (avg degree high), Taobao has
+	// dim-128 features.
+	if byName["BI"].Degrees.Avg > 3 {
+		t.Fatalf("BI avg degree = %.1f, want low", byName["BI"].Degrees.Avg)
+	}
+	if byName["INTER"].Degrees.Avg < 20 {
+		t.Fatalf("INTER avg degree = %.1f, want high", byName["INTER"].Degrees.Avg)
+	}
+	if byName["Taobao"].FeatureDim != 128 {
+		t.Fatal("Taobao feature dim wrong")
+	}
+	if !strings.Contains(buf.String(), "INTER") {
+		t.Fatal("table not printed")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The 3-hop INTER stress query is last with fan-outs [25,10,5].
+	last := rows[len(rows)-1]
+	if last.Hops != 3 || last.Fanouts[2] != 5 {
+		t.Fatalf("3-hop row: %+v", last)
+	}
+	for _, r := range rows[:4] {
+		if r.Hops != 2 || r.Fanouts[0] != 25 || r.Fanouts[1] != 10 {
+			t.Fatalf("fan-outs wrong: %+v", r)
+		}
+	}
+}
+
+func TestFig4aSamplingDominates(t *testing.T) {
+	res, err := Fig4a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distributed baseline (the paper's deployment) must spend most of
+	// the end-to-end time in sampling; the single-node row is informative
+	// only (at tiny scale an in-memory scan can undercut the model RPC).
+	for _, r := range res {
+		if r.System == "GraphDB-Dist" && r.SamplingShare < 0.5 {
+			t.Fatalf("%s: sampling share %.2f — should dominate inference", r.System, r.SamplingShare)
+		}
+	}
+}
+
+func TestFig4bTail(t *testing.T) {
+	res, err := Fig4b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.P99MS < r.AvgMS {
+			t.Fatalf("%s: p99 %.3f below avg %.3f", r.System, r.P99MS, r.AvgMS)
+		}
+	}
+}
+
+func TestFig4cSkewCorrelation(t *testing.T) {
+	buckets, err := Fig4c(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) < 2 {
+		t.Fatalf("need ≥ 2 traversal quartiles, got %d", len(buckets))
+	}
+	first, last := buckets[0], buckets[len(buckets)-1]
+	if last.MeanLatencyMS <= first.MeanLatencyMS {
+		t.Fatalf("latency should grow with traversed neighbours: %.4f vs %.4f",
+			first.MeanLatencyMS, last.MeanLatencyMS)
+	}
+}
+
+func TestFig4dHopsCost(t *testing.T) {
+	res, err := Fig4d(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	// 3-hop on the same cluster must cost more RPCs than 2-hop.
+	if res[2].RPCs <= res[1].RPCs {
+		t.Fatalf("3-hop RPCs %.1f not above 2-hop %.1f", res[2].RPCs, res[1].RPCs)
+	}
+	// Multi-node needs more RPC rounds than single-node.
+	if res[1].RPCs <= res[0].RPCs {
+		t.Fatalf("distributed RPCs %.1f not above single-node %.1f", res[1].RPCs, res[0].RPCs)
+	}
+}
+
+func TestFig9HeliosWins(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig9And10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every (dataset, strategy, concurrency): Helios QPS above the
+	// distributed baseline, and Helios P99 below it.
+	type key struct {
+		ds, strat string
+		conc      int
+	}
+	helios := map[key]ServingPoint{}
+	baseline := map[key]ServingPoint{}
+	for _, p := range pts {
+		k := key{p.Dataset, p.Strategy, p.Concurrency}
+		switch p.System {
+		case "Helios":
+			helios[k] = p
+		case "GraphDB-Dist":
+			baseline[k] = p
+		}
+	}
+	if len(helios) == 0 || len(helios) != len(baseline) {
+		t.Fatalf("missing points: %d helios vs %d baseline", len(helios), len(baseline))
+	}
+	for k, h := range helios {
+		b := baseline[k]
+		if h.QPS <= b.QPS {
+			t.Fatalf("%v: Helios QPS %.0f not above baseline %.0f", k, h.QPS, b.QPS)
+		}
+		if h.Errors > 0 {
+			t.Fatalf("%v: serving errors", k)
+		}
+	}
+}
+
+func TestFig11IngestionShape(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 { // 3 datasets × (2 Helios + 2 baselines)
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.RecordsPS <= 0 {
+			t.Fatalf("%s/%s: nonpositive throughput", p.System, p.Dataset)
+		}
+	}
+}
+
+func TestFig12Stability(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Serving must stay within 4× of the idle-ingest QPS even at the top
+	// ingestion rate (paper: "almost stable").
+	idle, loaded := pts[0], pts[len(pts)-1]
+	if loaded.QPS < idle.QPS/4 {
+		t.Fatalf("QPS collapsed under ingest: %.0f → %.0f", idle.QPS, loaded.QPS)
+	}
+}
+
+func TestFig13Scaling(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.02
+	pts, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Rate <= 0 {
+			t.Fatalf("zero rate: %+v", p)
+		}
+	}
+}
+
+func TestFig14Scaling(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestFig15HopsSlower(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	two, three := pts[0], pts[1]
+	if three.QPS >= two.QPS {
+		t.Fatalf("3-hop QPS %.0f should be below 2-hop %.0f", three.QPS, two.QPS)
+	}
+}
+
+func TestFig16CacheRatioDecreases(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.02
+	pts, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[len(pts)-1].PerNodeRatio >= pts[0].PerNodeRatio {
+		t.Fatalf("per-node cache ratio should fall with more servers: %.3f → %.3f",
+			pts[0].PerNodeRatio, pts[len(pts)-1].PerNodeRatio)
+	}
+}
+
+func TestFig17IngestLatency(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Records == 0 {
+			t.Fatalf("%s: no ingest latency samples", p.Dataset)
+		}
+		if p.P99MS < p.AvgMS {
+			t.Fatalf("%s: p99 below avg", p.Dataset)
+		}
+	}
+}
+
+func TestFig18AccuracyShape(t *testing.T) {
+	pts, err := Fig18(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	opt := pts[0].OptimalAUC
+	if opt < 0.8 {
+		t.Fatalf("optimal AUC %.3f — model failed to train", opt)
+	}
+	// Small delay ≈ optimal (the paper's conclusion).
+	if pts[0].HeliosAUC < opt-0.05 {
+		t.Fatalf("AUC at 250ms delay %.3f far below optimal %.3f", pts[0].HeliosAUC, opt)
+	}
+	// Accuracy must not increase with delay beyond noise.
+	if pts[len(pts)-1].HeliosAUC > opt+0.02 {
+		t.Fatal("stale samples should not beat fresh samples")
+	}
+}
+
+func TestFig19Online(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.01
+	pts, err := Fig19(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].QPS <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.005
+	res, err := ReadAfterWrite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Triggers == 0 {
+			t.Fatalf("%s: no triggers", r.Dataset)
+		}
+		// Most relevant updates must already be visible (paper: ≤ 1.9%; our
+		// single-core replay-at-sustained-rate bound is slightly looser).
+		if r.MissedFraction > 0.10 {
+			t.Fatalf("%s: %.1f%% relevant updates missed", r.Dataset, r.MissedFraction*100)
+		}
+	}
+}

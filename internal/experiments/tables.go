@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+
+	"helios/internal/query"
+	"helios/internal/sampling"
+	"helios/internal/workload"
+)
+
+// Table1Row is one dataset's statistics (Table 1).
+type Table1Row struct {
+	Dataset    string
+	Vertices   int
+	Edges      int
+	FeatureDim int
+	Degrees    workload.DegreeStats
+}
+
+// Table1 generates each dataset at the configured scale and reports its
+// statistics, the analogue of the paper's Table 1 (absolute counts are
+// scaled; ratios and skew match the shapes).
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.Defaults()
+	cfg.printf("Table 1: Dataset Statistics (scale %.3g)\n", cfg.Scale)
+	cfg.printf("%-10s %12s %12s %8s %26s\n", "Dataset", "Vertices", "Edges", "Dim", "OutDeg (Max/Min/Avg)")
+	var rows []Table1Row
+	for _, spec := range workload.AllDatasets() {
+		spec = spec.Scale(cfg.Scale)
+		gen, err := workload.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		gen.TrackDegrees(true)
+		for {
+			if _, ok := gen.Next(); !ok {
+				break
+			}
+		}
+		row := Table1Row{
+			Dataset:    spec.Name,
+			FeatureDim: spec.Vertices[0].FeatureDim,
+			Degrees:    gen.Degrees(),
+		}
+		for _, v := range spec.Vertices {
+			row.Vertices += v.Count
+		}
+		for _, e := range spec.Edges {
+			row.Edges += e.Count
+		}
+		rows = append(rows, row)
+		cfg.printf("%-10s %12d %12d %8d %12d/%d/%8.2f\n",
+			row.Dataset, row.Vertices, row.Edges, row.FeatureDim,
+			row.Degrees.Max, row.Degrees.Min, row.Degrees.Avg)
+	}
+	return rows, nil
+}
+
+// Table2Row is one registered query (Table 2).
+type Table2Row struct {
+	Dataset string
+	Pattern string
+	Fanouts []int
+	Hops    int
+	OneHops []query.HopID
+}
+
+// Table2 builds and decomposes each dataset's sampling query, printing the
+// Table 2 patterns.
+func Table2(cfg Config) ([]Table2Row, error) {
+	cfg = cfg.Defaults()
+	cfg.printf("Table 2: Sampling Queries\n")
+	cfg.printf("%-12s %-55s %s\n", "Dataset", "Query Pattern", "Fan-outs")
+	specs := append(workload.AllDatasets(), workload.INTER3())
+	var rows []Table2Row
+	for _, spec := range specs {
+		gen, err := workload.NewGenerator(spec.Scale(0.001))
+		if err != nil {
+			return nil, err
+		}
+		q, err := gen.BuildQuery(sampling.TopK)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := query.Decompose(0, q, gen.Schema())
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Dataset: spec.Name,
+			Pattern: strings.SplitN(q.Describe(gen.Schema()), " ", 2)[0],
+			Fanouts: q.Fanouts(),
+			Hops:    q.K(),
+		}
+		for _, oh := range plan.OneHops {
+			row.OneHops = append(row.OneHops, oh.ID)
+		}
+		rows = append(rows, row)
+		cfg.printf("%-12s %-55s %v\n", row.Dataset, row.Pattern, row.Fanouts)
+	}
+	return rows, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"helios/internal/gnn"
+	"helios/internal/graphdb"
+	"helios/internal/serving"
+)
+
+type (
+	servingRequest  = serving.Request
+	servingResponse = serving.Response
+)
+
+// treeFromGraphDB converts a baseline query result to the encoder's input.
+func treeFromGraphDB(res *graphdb.Result, dim int) *gnn.Tree {
+	edges := make([]gnn.HopEdge, len(res.Edges))
+	for i, e := range res.Edges {
+		edges[i] = gnn.HopEdge{Hop: e.Hop, Parent: e.Parent, Child: e.Child}
+	}
+	return gnn.BuildTree(res.Layers, edges, res.Features, dim)
+}
+
+// treeFromServing converts a Helios serving result to the encoder's input.
+func treeFromServing(res *serving.Result, dim int) *gnn.Tree {
+	edges := make([]gnn.HopEdge, len(res.Edges))
+	for i, e := range res.Edges {
+		edges[i] = gnn.HopEdge{Hop: e.Hop, Parent: e.Parent, Child: e.Child}
+	}
+	return gnn.BuildTree(res.Layers, edges, res.Features, dim)
+}

@@ -1,0 +1,233 @@
+// Package frontend implements the Helios front-end node (§4.3): it routes
+// inference requests to the serving worker owning the seed vertex and
+// graph updates to the sampling partitions that need them, and exposes both
+// over HTTP for applications.
+package frontend
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/deploy"
+	"helios/internal/graph"
+	"helios/internal/metrics"
+	"helios/internal/mq"
+	"helios/internal/query"
+	"helios/internal/serving"
+	"helios/internal/wire"
+)
+
+// Frontend routes requests and updates for one deployment.
+type Frontend struct {
+	cfg      *deploy.Config
+	part     graph.Partitioner // sampling workers
+	servPart graph.Partitioner // serving workers
+	servers  []*serving.Client
+	updates  mq.TopicHandle
+	dirs     map[graph.EdgeType][2]bool
+	seq      metrics.Counter
+
+	// Requests / Updates count routed traffic.
+	Requests metrics.Counter
+	Updates  metrics.Counter
+}
+
+// New connects a frontend to the broker and the serving workers'
+// RPC endpoints (len(servingAddrs) must equal the configured server count).
+func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, error) {
+	if len(servingAddrs) != cfg.File.Servers {
+		return nil, fmt.Errorf("frontend: %d serving addrs for %d servers", len(servingAddrs), cfg.File.Servers)
+	}
+	updates, err := bus.OpenTopic(wire.TopicUpdates, cfg.File.Samplers)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frontend{
+		cfg:      cfg,
+		part:     graph.NewPartitioner(cfg.File.Samplers),
+		servPart: graph.NewPartitioner(cfg.File.Servers),
+		updates:  updates,
+		dirs:     cfg.EdgeRouting(),
+	}
+	for _, addr := range servingAddrs {
+		c, err := serving.DialServing(addr, 0)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.servers = append(f.servers, c)
+	}
+	return f, nil
+}
+
+// Close releases the serving connections.
+func (f *Frontend) Close() {
+	for _, c := range f.servers {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Ingest stamps and routes one update.
+func (f *Frontend) Ingest(u graph.Update) error {
+	u.Seq = uint64(f.seq.Value())
+	f.seq.Inc()
+	u.Ingested = time.Now().UnixNano()
+	payload := codec.EncodeUpdate(u)
+	switch u.Kind {
+	case graph.UpdateVertex:
+		f.Updates.Inc()
+		_, err := f.updates.Append(f.part.Of(u.Vertex.ID), uint64(u.Vertex.ID), payload)
+		return err
+	case graph.UpdateEdge:
+		d, relevant := f.dirs[u.Edge.Type]
+		if !relevant {
+			return nil
+		}
+		f.Updates.Inc()
+		sent := -1
+		if d[0] {
+			sent = f.part.Of(u.Edge.Src)
+			if _, err := f.updates.Append(sent, uint64(u.Edge.Src), payload); err != nil {
+				return err
+			}
+		}
+		if d[1] {
+			if p := f.part.Of(u.Edge.Dst); p != sent {
+				if _, err := f.updates.Append(p, uint64(u.Edge.Src), payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("frontend: unknown update kind %d", u.Kind)
+	}
+}
+
+// Sample routes a sampling query to the owning serving worker.
+func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
+	f.Requests.Inc()
+	return f.servers[f.servPart.Of(seed)].Sample(qid, seed)
+}
+
+// HTTP gateway.
+
+type edgeJSON struct {
+	Src    uint64  `json:"src"`
+	Dst    uint64  `json:"dst"`
+	Type   string  `json:"type"`
+	Ts     int64   `json:"ts"`
+	Weight float32 `json:"weight"`
+}
+
+type vertexJSON struct {
+	ID      uint64    `json:"id"`
+	Type    string    `json:"type"`
+	Feature []float32 `json:"feature"`
+}
+
+type resultJSON struct {
+	Layers   [][]uint64           `json:"layers"`
+	Edges    []edgeOutJSON        `json:"edges"`
+	Features map[string][]float32 `json:"features"`
+	Misses   int                  `json:"misses"`
+}
+
+type edgeOutJSON struct {
+	Hop    int    `json:"hop"`
+	Parent uint64 `json:"parent"`
+	Child  uint64 `json:"child"`
+	Ts     int64  `json:"ts"`
+}
+
+// Handler returns the HTTP mux: POST /ingest/edge, POST /ingest/vertex,
+// GET /sample?q=<id>&seed=<vertex>, GET /healthz.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest/edge", func(w http.ResponseWriter, r *http.Request) {
+		var e edgeJSON
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		et, ok := f.cfg.Schema.EdgeTypeID(e.Type)
+		if !ok {
+			http.Error(w, "unknown edge type", http.StatusBadRequest)
+			return
+		}
+		err := f.Ingest(graph.NewEdgeUpdate(graph.Edge{
+			Src: graph.VertexID(e.Src), Dst: graph.VertexID(e.Dst),
+			Type: et, Ts: graph.Timestamp(e.Ts), Weight: e.Weight,
+		}))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("POST /ingest/vertex", func(w http.ResponseWriter, r *http.Request) {
+		var v vertexJSON
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		vt, ok := f.cfg.Schema.VertexTypeID(v.Type)
+		if !ok {
+			http.Error(w, "unknown vertex type", http.StatusBadRequest)
+			return
+		}
+		err := f.Ingest(graph.NewVertexUpdate(graph.Vertex{
+			ID: graph.VertexID(v.ID), Type: vt, Feature: v.Feature,
+		}))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /sample", func(w http.ResponseWriter, r *http.Request) {
+		qid, err := strconv.Atoi(r.URL.Query().Get("q"))
+		if err != nil || qid < 0 || qid >= len(f.cfg.Plans) {
+			http.Error(w, "bad query id", http.StatusBadRequest)
+			return
+		}
+		seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad seed", http.StatusBadRequest)
+			return
+		}
+		res, err := f.Sample(query.ID(qid), graph.VertexID(seed))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := resultJSON{Features: make(map[string][]float32), Misses: res.SampleMisses + res.FeatureMisses}
+		for _, layer := range res.Layers {
+			l := make([]uint64, len(layer))
+			for i, v := range layer {
+				l[i] = uint64(v)
+			}
+			out.Layers = append(out.Layers, l)
+		}
+		for _, e := range res.Edges {
+			out.Edges = append(out.Edges, edgeOutJSON{
+				Hop: e.Hop, Parent: uint64(e.Parent), Child: uint64(e.Child), Ts: int64(e.Ts),
+			})
+		}
+		for v, feat := range res.Features {
+			out.Features[strconv.FormatUint(uint64(v), 10)] = feat
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok requests=%d updates=%d\n", f.Requests.Value(), f.Updates.Value())
+	})
+	return mux
+}

@@ -1,0 +1,122 @@
+// Package gnn implements the model side of the end-to-end pipeline: a
+// from-scratch GraphSAGE (mean aggregator) encoder with forward inference
+// and full backpropagation training for link prediction, plus an RPC model
+// server standing in for TensorFlow Serving (§7.1, Fig. 19).
+//
+// Helios itself is model-agnostic — this package exists so the repository
+// can reproduce the experiments that need a model: the end-to-end latency
+// breakdown (Fig. 4(a)), online inference throughput (Fig. 19), and the
+// consistency/accuracy study (Fig. 18).
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	R, C int
+	W    []float32
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(r, c int) Matrix {
+	return Matrix{R: r, C: c, W: make([]float32, r*c)}
+}
+
+// XavierMatrix returns a Glorot-uniform initialized matrix.
+func XavierMatrix(r, c int, rng *rand.Rand) Matrix {
+	m := NewMatrix(r, c)
+	scale := float32(math.Sqrt(6.0 / float64(r+c)))
+	for i := range m.W {
+		m.W[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m Matrix) At(i, j int) float32 { return m.W[i*m.C+j] }
+
+// Set assigns m[i,j].
+func (m Matrix) Set(i, j int, v float32) { m.W[i*m.C+j] = v }
+
+// MulVec computes y = M·x (len(x) = C, len(y) = R).
+func (m Matrix) MulVec(x []float32) []float32 {
+	y := make([]float32, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		var s float32
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ·x (len(x) = R, len(y) = C) — the backward pass of
+// MulVec.
+func (m Matrix) MulVecT(x []float32) []float32 {
+	y := make([]float32, m.C)
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		xi := x[i]
+		for j := range row {
+			y[j] += row[j] * xi
+		}
+	}
+	return y
+}
+
+// AddOuter accumulates m += a·bᵀ scaled by lr (gradient update helper).
+func (m Matrix) AddOuter(a, b []float32, lr float32) {
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		ai := a[i] * lr
+		for j := range row {
+			row[j] += ai * b[j]
+		}
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m Matrix) Clone() Matrix {
+	out := NewMatrix(m.R, m.C)
+	copy(out.W, m.W)
+	return out
+}
+
+// Vector helpers.
+
+func addInto(dst, src []float32) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+func scaleVec(v []float32, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func reluInPlace(v []float32) {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

@@ -1,0 +1,112 @@
+package gnn
+
+import (
+	"math"
+	"sort"
+)
+
+// LinkPredictor is the two-tower model used in the consistency/accuracy
+// study (§7.4, Fig. 18): a GraphSAGE user tower over the sampled K-hop
+// neighbourhood and a linear item tower, scored by a sigmoid dot product —
+// the GraphSAGE link-prediction setup of the paper's Taobao experiment.
+type LinkPredictor struct {
+	User *Encoder
+	Item *Encoder
+}
+
+// NewLinkPredictor builds the two towers. userDims runs [featDim, ...,
+// embDim]; the item tower maps featDim → embDim with one linear layer.
+func NewLinkPredictor(userDims []int, seed int64) *LinkPredictor {
+	embDim := userDims[len(userDims)-1]
+	return &LinkPredictor{
+		User: NewEncoder(userDims, seed),
+		Item: NewEncoder([]int{userDims[0], embDim}, seed+1),
+	}
+}
+
+// Score returns P(link | user tree, item tree).
+func (p *LinkPredictor) Score(user, item *Tree) float32 {
+	u := p.User.Embed(user)
+	i := p.Item.Embed(item)
+	return sigmoid(dot(u, i))
+}
+
+// Example is one training pair.
+type Example struct {
+	User, Item *Tree
+	Label      float32 // 1 = positive link, 0 = negative sample
+}
+
+// TrainBatch runs one SGD step over the batch and returns the mean BCE
+// loss.
+func (p *LinkPredictor) TrainBatch(batch []Example, lr float32) float32 {
+	if len(batch) == 0 {
+		return 0
+	}
+	gu := newGrads(p.User)
+	gi := newGrads(p.Item)
+	var loss float64
+	for _, ex := range batch {
+		uEmb, uAct := p.User.forward(ex.User)
+		iEmb, iAct := p.Item.forward(ex.Item)
+		logit := dot(uEmb, iEmb)
+		pred := sigmoid(logit)
+		eps := 1e-7
+		if ex.Label > 0.5 {
+			loss += -math.Log(float64(pred) + eps)
+		} else {
+			loss += -math.Log(1 - float64(pred) + eps)
+		}
+		dLogit := pred - ex.Label
+		dU := append([]float32(nil), iEmb...)
+		scaleVec(dU, dLogit)
+		dI := append([]float32(nil), uEmb...)
+		scaleVec(dI, dLogit)
+		p.User.backward(ex.User, uAct, dU, gu)
+		p.Item.backward(ex.Item, iAct, dI, gi)
+	}
+	p.User.apply(gu, lr, len(batch))
+	p.Item.apply(gi, lr, len(batch))
+	return float32(loss / float64(len(batch)))
+}
+
+// AUC computes the area under the ROC curve for scored examples — the
+// accuracy metric reported against ingestion delay in Fig. 18.
+func AUC(scores []float32, labels []bool) float64 {
+	type pair struct {
+		s   float32
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	var npos, nneg float64
+	for i, s := range scores {
+		ps[i] = pair{s: s, pos: labels[i]}
+		if labels[i] {
+			npos++
+		} else {
+			nneg++
+		}
+	}
+	if npos == 0 || nneg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Rank-sum (Mann–Whitney U) with tie handling by average rank.
+	var sumRanks float64
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 .. j) averaged
+		for k := i; k < j; k++ {
+			if ps[k].pos {
+				sumRanks += avgRank
+			}
+		}
+		i = j
+	}
+	u := sumRanks - npos*(npos+1)/2
+	return u / (npos * nneg)
+}

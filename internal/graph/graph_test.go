@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateConstructorsAndString(t *testing.T) {
+	v := NewVertexUpdate(Vertex{ID: 7, Type: 1, Feature: []float32{1, 2, 3}})
+	if v.Kind != UpdateVertex || v.Vertex.ID != 7 {
+		t.Fatalf("bad vertex update: %+v", v)
+	}
+	if got := v.String(); got != "V(7 type=1 dim=3)" {
+		t.Fatalf("String() = %q", got)
+	}
+	e := NewEdgeUpdate(Edge{Src: 1, Dst: 2, Type: 3, Ts: 42})
+	if e.Kind != UpdateEdge || e.Edge.Dst != 2 {
+		t.Fatalf("bad edge update: %+v", e)
+	}
+	if got := e.String(); got != "E(1->2 type=3 ts=42)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if (Update{}).String() != "Update(?)" {
+		t.Fatal("zero update should render as unknown")
+	}
+}
+
+func TestUpdateKindString(t *testing.T) {
+	if UpdateVertex.String() != "vertex" || UpdateEdge.String() != "edge" {
+		t.Fatal("kind names wrong")
+	}
+	if UpdateKind(99).String() != "UpdateKind(99)" {
+		t.Fatal("unknown kind should be explicit")
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	e := Edge{Src: 10, Dst: 20}
+	if e.Origin(Out) != 10 || e.Target(Out) != 20 {
+		t.Fatal("Out direction endpoints wrong")
+	}
+	if e.Origin(In) != 20 || e.Target(In) != 10 {
+		t.Fatal("In direction endpoints wrong")
+	}
+	if Out.String() != "out" || In.String() != "in" {
+		t.Fatal("direction names wrong")
+	}
+}
+
+func TestSchemaRegistration(t *testing.T) {
+	s := NewSchema()
+	user := s.AddVertexType("User")
+	item := s.AddVertexType("Item")
+	if again := s.AddVertexType("User"); again != user {
+		t.Fatalf("re-registration changed id: %d != %d", again, user)
+	}
+	click := s.AddEdgeType("Click", user, item)
+	if again := s.AddEdgeType("Click", user, item); again != click {
+		t.Fatal("edge re-registration changed id")
+	}
+	if s.NumVertexTypes() != 2 || s.NumEdgeTypes() != 1 {
+		t.Fatalf("counts: %d vertex types, %d edge types", s.NumVertexTypes(), s.NumEdgeTypes())
+	}
+	if id, ok := s.VertexTypeID("Item"); !ok || id != item {
+		t.Fatal("VertexTypeID lookup failed")
+	}
+	if id, ok := s.EdgeTypeID("Click"); !ok || id != click {
+		t.Fatal("EdgeTypeID lookup failed")
+	}
+	if _, ok := s.EdgeTypeID("Nope"); ok {
+		t.Fatal("unknown edge type should not resolve")
+	}
+	if s.VertexTypeName(user) != "User" || s.EdgeTypeName(click) != "Click" {
+		t.Fatal("name lookups wrong")
+	}
+	if s.VertexTypeName(99) != "?" || s.EdgeTypeName(99) != "?" {
+		t.Fatal("unknown ids should render as ?")
+	}
+	names := s.VertexTypeNames()
+	if len(names) != 2 || names[0] != "Item" || names[1] != "User" {
+		t.Fatalf("VertexTypeNames = %v", names)
+	}
+}
+
+func TestSchemaEndpointTyping(t *testing.T) {
+	s := NewSchema()
+	user := s.AddVertexType("User")
+	item := s.AddVertexType("Item")
+	click := s.AddEdgeType("Click", user, item)
+
+	if vt, ok := s.EndpointType(click, Out); !ok || vt != item {
+		t.Fatal("Out endpoint should be Item")
+	}
+	if vt, ok := s.EndpointType(click, In); !ok || vt != user {
+		t.Fatal("In endpoint should be User")
+	}
+	if vt, ok := s.OriginType(click, Out); !ok || vt != user {
+		t.Fatal("Out origin should be User")
+	}
+	if vt, ok := s.OriginType(click, In); !ok || vt != item {
+		t.Fatal("In origin should be Item")
+	}
+	if _, ok := s.EndpointType(EdgeType(42), Out); ok {
+		t.Fatal("unknown edge type should not have endpoints")
+	}
+	if _, ok := s.EdgeDef(EdgeType(42)); ok {
+		t.Fatal("unknown edge def should not resolve")
+	}
+}
+
+func TestSchemaConflictingEdgePanics(t *testing.T) {
+	s := NewSchema()
+	a := s.AddVertexType("A")
+	b := s.AddVertexType("B")
+	s.AddEdgeType("E", a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting endpoint re-registration should panic")
+		}
+	}()
+	s.AddEdgeType("E", b, a)
+}
+
+func TestPartitionerBounds(t *testing.T) {
+	p := NewPartitioner(7)
+	if p.N() != 7 {
+		t.Fatal("N wrong")
+	}
+	for v := VertexID(0); v < 10000; v++ {
+		if got := p.Of(v); got < 0 || got >= 7 {
+			t.Fatalf("partition out of range: %d", got)
+		}
+	}
+}
+
+func TestPartitionerBalance(t *testing.T) {
+	const n, vertices = 8, 200000
+	p := NewPartitioner(n)
+	counts := make([]int, n)
+	for v := 0; v < vertices; v++ {
+		counts[p.Of(VertexID(v))]++
+	}
+	want := float64(vertices) / n
+	for i, c := range counts {
+		if skew := math.Abs(float64(c)-want) / want; skew > 0.05 {
+			t.Fatalf("partition %d has %.1f%% skew (%d items)", i, skew*100, c)
+		}
+	}
+}
+
+func TestPartitionerDeterministic(t *testing.T) {
+	err := quick.Check(func(v uint64, n uint8) bool {
+		parts := int(n%16) + 1
+		p1, p2 := NewPartitioner(parts), NewPartitioner(parts)
+		return p1.Of(VertexID(v)) == p2.Of(VertexID(v))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPartitionerPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 partitions")
+		}
+	}()
+	NewPartitioner(0)
+}
+
+func TestEdgePartitions(t *testing.T) {
+	p := NewPartitioner(4)
+	e := Edge{Src: 1, Dst: 2}
+	bySrc := p.EdgePartitions(e, BySrc, nil)
+	if len(bySrc) != 1 || bySrc[0] != p.Of(1) {
+		t.Fatalf("BySrc = %v", bySrc)
+	}
+	byDst := p.EdgePartitions(e, ByDest, nil)
+	if len(byDst) != 1 || byDst[0] != p.Of(2) {
+		t.Fatalf("ByDest = %v", byDst)
+	}
+	both := p.EdgePartitions(e, Both, nil)
+	if len(both) < 1 || len(both) > 2 {
+		t.Fatalf("Both = %v", both)
+	}
+	// Self-loop must not duplicate under Both.
+	loop := p.EdgePartitions(Edge{Src: 5, Dst: 5}, Both, nil)
+	if len(loop) != 1 {
+		t.Fatalf("self-loop Both should be deduped: %v", loop)
+	}
+}
+
+func TestEdgePartitionsAppends(t *testing.T) {
+	p := NewPartitioner(3)
+	buf := []int{99}
+	out := p.EdgePartitions(Edge{Src: 1, Dst: 2}, BySrc, buf)
+	if out[0] != 99 || len(out) != 2 {
+		t.Fatalf("EdgePartitions should append: %v", out)
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping any single input bit should flip ~half the output bits.
+	const trials = 64
+	for bit := 0; bit < trials; bit++ {
+		a := Hash64(0x12345678)
+		b := Hash64(0x12345678 ^ (1 << uint(bit)))
+		diff := a ^ b
+		pop := 0
+		for diff != 0 {
+			pop++
+			diff &= diff - 1
+		}
+		if pop < 16 || pop > 48 {
+			t.Fatalf("weak avalanche on bit %d: %d differing bits", bit, pop)
+		}
+	}
+}
+
+func TestEdgePolicyString(t *testing.T) {
+	if BySrc.String() != "BySrc" || ByDest.String() != "ByDest" || Both.String() != "Both" {
+		t.Fatal("policy names wrong")
+	}
+	if EdgePolicy(9).String() != "EdgePolicy(9)" {
+		t.Fatal("unknown policy should be explicit")
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+// Hash64 mixes a 64-bit value with the splitmix64 finalizer. It is the one
+// hash function used everywhere a vertex must be assigned to a partition, so
+// sampling workers, serving workers and the frontend always agree on
+// ownership (§4.1: "a pre-defined hash function").
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Partitioner maps vertices onto n partitions by hashing their IDs.
+// The zero value is unusable; use NewPartitioner.
+type Partitioner struct {
+	n uint64
+}
+
+// NewPartitioner returns a partitioner over n ≥ 1 partitions.
+func NewPartitioner(n int) Partitioner {
+	if n < 1 {
+		panic("graph: partitioner needs at least one partition")
+	}
+	return Partitioner{n: uint64(n)}
+}
+
+// N reports the number of partitions.
+func (p Partitioner) N() int { return int(p.n) }
+
+// Of returns the partition owning vertex v.
+func (p Partitioner) Of(v VertexID) int {
+	return int(Hash64(uint64(v)) % p.n)
+}
+
+// EdgePartitions appends to dst the partitions an edge must be routed to
+// under the given placement policy and returns the extended slice. Both can
+// yield one or two entries (one when both endpoints hash to the same
+// partition).
+func (p Partitioner) EdgePartitions(e Edge, policy EdgePolicy, dst []int) []int {
+	switch policy {
+	case BySrc:
+		return append(dst, p.Of(e.Src))
+	case ByDest:
+		return append(dst, p.Of(e.Dst))
+	default: // Both
+		s, d := p.Of(e.Src), p.Of(e.Dst)
+		dst = append(dst, s)
+		if d != s {
+			dst = append(dst, d)
+		}
+		return dst
+	}
+}

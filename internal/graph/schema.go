@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Schema declares the heterogeneous type system of a graph: named vertex
+// types and named, endpoint-typed edge types. A Schema is immutable once
+// built and safe for concurrent use.
+//
+// The LDBC-style query patterns of Table 2 (e.g.
+// Person-Knows-Person-Likes-Comment) are expressed against a Schema: each
+// hop names an edge type, whose endpoint typing determines the vertex types
+// encountered along the walk.
+type Schema struct {
+	mu          sync.RWMutex
+	vertexNames []string
+	vertexIDs   map[string]VertexType
+	edges       []EdgeDef
+	edgeIDs     map[string]EdgeType
+}
+
+// EdgeDef declares one edge type: its name and the vertex types of its
+// endpoints.
+type EdgeDef struct {
+	Name     string
+	Src, Dst VertexType
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		vertexIDs: make(map[string]VertexType),
+		edgeIDs:   make(map[string]EdgeType),
+	}
+}
+
+// AddVertexType registers a vertex type name and returns its ID. Repeated
+// registration of the same name returns the original ID.
+func (s *Schema) AddVertexType(name string) VertexType {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.vertexIDs[name]; ok {
+		return id
+	}
+	id := VertexType(len(s.vertexNames))
+	s.vertexNames = append(s.vertexNames, name)
+	s.vertexIDs[name] = id
+	return id
+}
+
+// AddEdgeType registers an edge type with endpoint vertex types and returns
+// its ID. Repeated registration with the same name returns the original ID
+// (endpoints must match or AddEdgeType panics — schemas are configuration).
+func (s *Schema) AddEdgeType(name string, src, dst VertexType) EdgeType {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.edgeIDs[name]; ok {
+		def := s.edges[id]
+		if def.Src != src || def.Dst != dst {
+			panic(fmt.Sprintf("graph: edge type %q re-registered with different endpoints", name))
+		}
+		return id
+	}
+	id := EdgeType(len(s.edges))
+	s.edges = append(s.edges, EdgeDef{Name: name, Src: src, Dst: dst})
+	s.edgeIDs[name] = id
+	return id
+}
+
+// VertexTypeID looks a vertex type up by name.
+func (s *Schema) VertexTypeID(name string) (VertexType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.vertexIDs[name]
+	return id, ok
+}
+
+// EdgeTypeID looks an edge type up by name.
+func (s *Schema) EdgeTypeID(name string) (EdgeType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.edgeIDs[name]
+	return id, ok
+}
+
+// VertexTypeName returns the name of a vertex type, or "?" if unknown.
+func (s *Schema) VertexTypeName(id VertexType) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.vertexNames) {
+		return "?"
+	}
+	return s.vertexNames[id]
+}
+
+// EdgeTypeName returns the name of an edge type, or "?" if unknown.
+func (s *Schema) EdgeTypeName(id EdgeType) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.edges) {
+		return "?"
+	}
+	return s.edges[id].Name
+}
+
+// EdgeDef returns the definition of an edge type.
+func (s *Schema) EdgeDef(id EdgeType) (EdgeDef, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.edges) {
+		return EdgeDef{}, false
+	}
+	return s.edges[id], true
+}
+
+// NumVertexTypes reports the number of registered vertex types.
+func (s *Schema) NumVertexTypes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vertexNames)
+}
+
+// NumEdgeTypes reports the number of registered edge types.
+func (s *Schema) NumEdgeTypes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.edges)
+}
+
+// VertexTypeNames returns all vertex type names sorted alphabetically.
+func (s *Schema) VertexTypeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]string(nil), s.vertexNames...)
+	sort.Strings(out)
+	return out
+}
+
+// EndpointType returns the vertex type reached by following edges of type e
+// in direction d (i.e. the sampled side).
+func (s *Schema) EndpointType(e EdgeType, d Direction) (VertexType, bool) {
+	def, ok := s.EdgeDef(e)
+	if !ok {
+		return 0, false
+	}
+	if d == In {
+		return def.Src, true
+	}
+	return def.Dst, true
+}
+
+// OriginType returns the vertex type a direction-d one-hop query on edge
+// type e keys on.
+func (s *Schema) OriginType(e EdgeType, d Direction) (VertexType, bool) {
+	def, ok := s.EdgeDef(e)
+	if !ok {
+		return 0, false
+	}
+	if d == In {
+		return def.Dst, true
+	}
+	return def.Src, true
+}

@@ -1,0 +1,295 @@
+package graphdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/rpc"
+	"helios/internal/sampling"
+)
+
+// Dist is the distributed deployment of the baseline database: P partition
+// servers over loopback TCP, each holding a Store shard, with a query
+// router that executes K-hop sampling by one batched RPC round per hop per
+// touched partition — the communication pattern whose cost Fig. 4(d)
+// measures.
+type Dist struct {
+	part    graph.Partitioner
+	stores  []*Store
+	servers []*rpc.Server
+	clients []*rpc.Client
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	timeout time.Duration
+}
+
+// DistOptions configures a distributed baseline cluster.
+type DistOptions struct {
+	// Nodes is the partition count (cluster size); 0 defaults to 1.
+	Nodes int
+	// NetDelay is injected per RPC to model datacenter RTT beyond
+	// loopback. Zero uses raw loopback cost.
+	NetDelay time.Duration
+	// Shards stripes each partition's locks.
+	Shards int
+	// Seed drives randomized sampling server-side.
+	Seed int64
+	// Timeout bounds each RPC; 0 defaults to 10s.
+	Timeout time.Duration
+}
+
+const (
+	methodIngest = "gdb.ingest"
+	methodSample = "gdb.sample"
+	methodFeat   = "gdb.feat"
+)
+
+// NewDist starts the partition servers and connects the router.
+func NewDist(opts DistOptions) (*Dist, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	d := &Dist{
+		part: graph.NewPartitioner(opts.Nodes),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		store := NewStore(StoreOptions{Shards: opts.Shards})
+		srv := rpc.NewServer()
+		srv.Delay = opts.NetDelay
+		registerHandlers(srv, store, opts.Seed+int64(i)+1)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		client, err := rpc.Dial(addr)
+		if err != nil {
+			srv.Close()
+			d.Close()
+			return nil, err
+		}
+		d.stores = append(d.stores, store)
+		d.servers = append(d.servers, srv)
+		d.clients = append(d.clients, client)
+	}
+	d.timeout = opts.Timeout
+	return d, nil
+}
+
+// registerHandlers installs the partition-server RPC surface.
+func registerHandlers(srv *rpc.Server, store *Store, seed int64) {
+	var mu sync.Mutex
+	master := rand.New(rand.NewSource(seed))
+	srv.Handle(methodIngest, func(req []byte) ([]byte, error) {
+		u, err := codec.DecodeUpdate(req)
+		if err != nil {
+			return nil, err
+		}
+		store.ApplyUpdate(u)
+		return nil, nil
+	})
+	srv.Handle(methodSample, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		et := graph.EdgeType(r.Uvarint())
+		dir := graph.Direction(r.Byte())
+		strat := sampling.Strategy(r.Byte())
+		fanout := int(r.Uvarint())
+		n := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		rng := rand.New(rand.NewSource(master.Int63()))
+		mu.Unlock()
+		w := codec.NewWriter(64 * n)
+		w.Uvarint(uint64(n))
+		for i := 0; i < n; i++ {
+			v := graph.VertexID(r.Uvarint())
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			samples, scanned := store.SampleNeighbors(v, et, dir, strat, fanout, rng)
+			w.Uvarint(uint64(v))
+			w.Uvarint(uint64(scanned))
+			w.Uvarint(uint64(len(samples)))
+			for _, s := range samples {
+				w.Uvarint(uint64(s.Neighbor))
+				w.Varint(int64(s.Ts))
+				w.Float32(s.Weight)
+			}
+		}
+		return w.Bytes(), nil
+	})
+	srv.Handle(methodFeat, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		n := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		w := codec.NewWriter(64 * n)
+		w.Uvarint(uint64(n))
+		for i := 0; i < n; i++ {
+			v := graph.VertexID(r.Uvarint())
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			w.Uvarint(uint64(v))
+			f := store.Feature(v)
+			w.Bool(f != nil)
+			if f != nil {
+				w.Float32s(f)
+			}
+		}
+		return w.Bytes(), nil
+	})
+}
+
+// Ingest applies one update with strong consistency: the call returns only
+// after every owning partition has committed it.
+func (d *Dist) Ingest(u graph.Update) error {
+	payload := codec.EncodeUpdate(u)
+	switch u.Kind {
+	case graph.UpdateVertex:
+		_, err := d.clients[d.part.Of(u.Vertex.ID)].Call(methodIngest, payload, d.timeout)
+		return err
+	case graph.UpdateEdge:
+		p1 := d.part.Of(u.Edge.Src)
+		if _, err := d.clients[p1].Call(methodIngest, payload, d.timeout); err != nil {
+			return err
+		}
+		if p2 := d.part.Of(u.Edge.Dst); p2 != p1 {
+			// The dst partition stores the in-adjacency replica.
+			if _, err := d.clients[p2].Call(methodIngest, payload, d.timeout); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("graphdb: unknown update kind %d", u.Kind)
+	}
+}
+
+// Execute runs the plan from seed: one batched RPC round per hop per
+// touched partition, then a feature-fetch round.
+func (d *Dist) Execute(plan *query.Plan, seed graph.VertexID) (*Result, ExecStats, error) {
+	var stats ExecStats
+	res := &Result{
+		Layers:   [][]graph.VertexID{{seed}},
+		Features: make(map[graph.VertexID][]float32),
+	}
+	frontier := res.Layers[0]
+	for hopIdx, oh := range plan.OneHops {
+		// Group the frontier by owning partition. Duplicate vertices stay
+		// duplicated: each occurrence is an independent sampling draw, as
+		// in the single-node executor.
+		groups := make(map[int][]graph.VertexID)
+		for _, v := range frontier {
+			p := d.part.Of(v)
+			groups[p] = append(groups[p], v)
+		}
+		next := make([]graph.VertexID, 0, len(frontier)*oh.Fanout)
+		for p, vs := range groups {
+			stats.RPCCalls++
+			w := codec.NewWriter(16 + 9*len(vs))
+			w.Uvarint(uint64(oh.Edge))
+			w.Byte(byte(oh.Dir))
+			w.Byte(byte(oh.Strategy))
+			w.Uvarint(uint64(oh.Fanout))
+			w.Uvarint(uint64(len(vs)))
+			for _, v := range vs {
+				w.Uvarint(uint64(v))
+			}
+			resp, err := d.clients[p].Call(methodSample, w.Bytes(), d.timeout)
+			if err != nil {
+				return nil, stats, err
+			}
+			r := codec.NewReader(resp)
+			n := int(r.Uvarint())
+			for i := 0; i < n; i++ {
+				v := graph.VertexID(r.Uvarint())
+				stats.TraversedNeighbors += int(r.Uvarint())
+				cnt := int(r.Uvarint())
+				for j := 0; j < cnt; j++ {
+					child := graph.VertexID(r.Uvarint())
+					ts := graph.Timestamp(r.Varint())
+					wt := r.Float32()
+					next = append(next, child)
+					res.Edges = append(res.Edges, SampledEdge{
+						Hop: hopIdx, Parent: v, Child: child, Ts: ts, Weight: wt,
+					})
+				}
+			}
+			if err := r.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
+		res.Layers = append(res.Layers, next)
+		frontier = next
+	}
+
+	// Feature round: batch distinct vertices by partition.
+	distinct := make(map[graph.VertexID]bool)
+	groups := make(map[int][]graph.VertexID)
+	for _, layer := range res.Layers {
+		for _, v := range layer {
+			if !distinct[v] {
+				distinct[v] = true
+				groups[d.part.Of(v)] = append(groups[d.part.Of(v)], v)
+			}
+		}
+	}
+	for p, vs := range groups {
+		stats.RPCCalls++
+		w := codec.NewWriter(8 + 9*len(vs))
+		w.Uvarint(uint64(len(vs)))
+		for _, v := range vs {
+			w.Uvarint(uint64(v))
+		}
+		resp, err := d.clients[p].Call(methodFeat, w.Bytes(), d.timeout)
+		if err != nil {
+			return nil, stats, err
+		}
+		r := codec.NewReader(resp)
+		n := int(r.Uvarint())
+		for i := 0; i < n; i++ {
+			v := graph.VertexID(r.Uvarint())
+			if r.Bool() {
+				res.Features[v] = r.Float32s()
+			}
+		}
+		if err := r.Err(); err != nil {
+			return nil, stats, err
+		}
+	}
+	return res, stats, nil
+}
+
+// Nodes returns the partition count.
+func (d *Dist) Nodes() int { return d.part.N() }
+
+// Stores exposes the partition stores (for dataset statistics).
+func (d *Dist) Stores() []*Store { return d.stores }
+
+// Close tears down clients and servers.
+func (d *Dist) Close() {
+	for _, c := range d.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, s := range d.servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package graphdb
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/sampling"
+)
+
+func finSchema() *graph.Schema {
+	s := graph.NewSchema()
+	acct := s.AddVertexType("Account")
+	s.AddEdgeType("TransferTo", acct, acct)
+	return s
+}
+
+func finPlan(t *testing.T, fanouts ...int) *query.Plan {
+	t.Helper()
+	s := finSchema()
+	b := query.NewBuilder(s, "Account")
+	for _, f := range fanouts {
+		b.Out("TransferTo", f, sampling.TopK)
+	}
+	q, err := b.Build("fin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := query.Decompose(0, q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestStoreApplyAndSample(t *testing.T) {
+	s := NewStore(StoreOptions{})
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= 10; i++ {
+		s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 1, Dst: graph.VertexID(i + 1), Type: 0, Ts: graph.Timestamp(i)}))
+	}
+	s.ApplyUpdate(graph.NewVertexUpdate(graph.Vertex{ID: 1, Feature: []float32{7}}))
+
+	if s.Edges.Value() != 10 || s.Vertices.Value() != 1 {
+		t.Fatalf("counts: %d edges %d vertices", s.Edges.Value(), s.Vertices.Value())
+	}
+	if d := s.Degree(1, 0, graph.Out); d != 10 {
+		t.Fatalf("out degree = %d", d)
+	}
+	if d := s.Degree(5, 0, graph.In); d != 1 {
+		t.Fatalf("in degree = %d", d)
+	}
+	samples, scanned := s.SampleNeighbors(1, 0, graph.Out, sampling.TopK, 3, rng)
+	if scanned != 10 {
+		t.Fatalf("scanned = %d (must scan all neighbours)", scanned)
+	}
+	got := []int{}
+	for _, smp := range samples {
+		got = append(got, int(smp.Ts))
+	}
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 8 || got[2] != 10 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if f := s.Feature(1); len(f) != 1 || f[0] != 7 {
+		t.Fatalf("feature = %v", f)
+	}
+	if s.Feature(99) != nil {
+		t.Fatal("absent feature should be nil")
+	}
+	// Features are private copies.
+	f := s.Feature(1)
+	f[0] = 100
+	if s.Feature(1)[0] != 7 {
+		t.Fatal("feature aliased")
+	}
+}
+
+func TestExecutorTwoHop(t *testing.T) {
+	s := NewStore(StoreOptions{})
+	// 1 → {2,3}; 2 → {4}; 3 → {5,6}.
+	edges := []graph.Edge{
+		{Src: 1, Dst: 2, Ts: 1}, {Src: 1, Dst: 3, Ts: 2},
+		{Src: 2, Dst: 4, Ts: 3},
+		{Src: 3, Dst: 5, Ts: 4}, {Src: 3, Dst: 6, Ts: 5},
+	}
+	for _, e := range edges {
+		s.ApplyUpdate(graph.NewEdgeUpdate(e))
+	}
+	exec := NewExecutor(s, 1)
+	res, stats := exec.Execute(finPlan(t, 2, 2), 1)
+	if len(res.Layers) != 3 {
+		t.Fatalf("layers = %d", len(res.Layers))
+	}
+	if len(res.Layers[1]) != 2 || len(res.Layers[2]) != 3 {
+		t.Fatalf("layer sizes %d %d", len(res.Layers[1]), len(res.Layers[2]))
+	}
+	// 2 neighbours of 1 + 1 of 2 + 2 of 3 = 5 traversed.
+	if stats.TraversedNeighbors != 5 {
+		t.Fatalf("traversed = %d", stats.TraversedNeighbors)
+	}
+	if stats.RPCCalls != 0 {
+		t.Fatal("single-node executor should not RPC")
+	}
+}
+
+func TestExecutorConcurrent(t *testing.T) {
+	s := NewStore(StoreOptions{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{
+			Src: graph.VertexID(rng.Intn(50) + 1), Dst: graph.VertexID(rng.Intn(50) + 1),
+			Ts: graph.Timestamp(i),
+		}))
+	}
+	exec := NewExecutor(s, 3)
+	plan := finPlan(t, 5, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				if res, _ := exec.Execute(plan, graph.VertexID(r.Intn(50)+1)); res == nil {
+					t.Error("nil result")
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestQueryCacheInvalidation(t *testing.T) {
+	s := NewStore(StoreOptions{})
+	s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 1, Dst: 2, Ts: 1}))
+	exec := NewExecutor(s, 1)
+	cached := NewCachedExecutor(exec, s)
+	plan := finPlan(t, 2)
+
+	cached.Execute(plan, 1) // miss
+	cached.Execute(plan, 1) // hit
+	if cached.Hits != 1 || cached.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", cached.Hits, cached.Misses)
+	}
+	// Any write invalidates.
+	s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 9, Dst: 10, Ts: 2}))
+	cached.Execute(plan, 1) // miss again
+	if cached.Misses != 2 {
+		t.Fatalf("misses = %d after write", cached.Misses)
+	}
+	if r := cached.HitRatio(); r < 0.3 || r > 0.4 {
+		t.Fatalf("hit ratio = %f", r)
+	}
+}
+
+func TestQueryCacheCollapsesUnderUpdates(t *testing.T) {
+	// The §1 claim: continuous updates make the query cache useless.
+	s := NewStore(StoreOptions{})
+	exec := NewExecutor(s, 1)
+	cached := NewCachedExecutor(exec, s)
+	plan := finPlan(t, 2)
+	for i := 0; i < 100; i++ {
+		s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 1, Dst: graph.VertexID(i + 2), Ts: graph.Timestamp(i)}))
+		cached.Execute(plan, 1)
+	}
+	if r := cached.HitRatio(); r > 0.01 {
+		t.Fatalf("hit ratio %f should collapse under continuous updates", r)
+	}
+}
+
+func TestDistMatchesSingleNodeSemantics(t *testing.T) {
+	d, err := NewDist(DistOptions{Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	single := NewStore(StoreOptions{})
+
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 600; i++ {
+		e := graph.Edge{
+			Src: graph.VertexID(rng.Intn(40) + 1), Dst: graph.VertexID(rng.Intn(40) + 1),
+			Ts: graph.Timestamp(i),
+		}
+		if err := d.Ingest(graph.NewEdgeUpdate(e)); err != nil {
+			t.Fatal(err)
+		}
+		single.ApplyUpdate(graph.NewEdgeUpdate(e))
+	}
+	for v := 1; v <= 40; v++ {
+		if err := d.Ingest(graph.NewVertexUpdate(graph.Vertex{ID: graph.VertexID(v), Feature: []float32{float32(v)}})); err != nil {
+			t.Fatal(err)
+		}
+		single.ApplyUpdate(graph.NewVertexUpdate(graph.Vertex{ID: graph.VertexID(v), Feature: []float32{float32(v)}}))
+	}
+
+	plan := finPlan(t, 3, 3)
+	exec := NewExecutor(single, 9)
+	for v := 1; v <= 40; v++ {
+		distRes, stats, err := d.Execute(plan, graph.VertexID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		localRes, _ := exec.Execute(plan, graph.VertexID(v))
+		// TopK is deterministic: layer sets must match exactly.
+		for layer := range localRes.Layers {
+			a := append([]graph.VertexID(nil), distRes.Layers[layer]...)
+			b := append([]graph.VertexID(nil), localRes.Layers[layer]...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if len(a) != len(b) {
+				t.Fatalf("seed %d layer %d: %d vs %d vertices", v, layer, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d layer %d differs: %v vs %v", v, layer, a, b)
+				}
+			}
+		}
+		if len(distRes.Features) != len(localRes.Features) {
+			t.Fatalf("seed %d features: %d vs %d", v, len(distRes.Features), len(localRes.Features))
+		}
+		if stats.RPCCalls == 0 {
+			t.Fatal("distributed execution should RPC")
+		}
+	}
+}
+
+func TestDistHopsIncreaseRPCs(t *testing.T) {
+	d, err := NewDist(DistOptions{Nodes: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		d.Ingest(graph.NewEdgeUpdate(graph.Edge{
+			Src: graph.VertexID(rng.Intn(30) + 1), Dst: graph.VertexID(rng.Intn(30) + 1),
+			Ts: graph.Timestamp(i),
+		}))
+	}
+	_, st2, err := d.Execute(finPlan(t, 5, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st3, err := d.Execute(finPlan(t, 5, 5, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.RPCCalls <= st2.RPCCalls {
+		t.Fatalf("3-hop RPCs (%d) should exceed 2-hop (%d)", st3.RPCCalls, st2.RPCCalls)
+	}
+}
+
+func TestDistInjectedDelaySlowsQueries(t *testing.T) {
+	fast, err := NewDist(DistOptions{Nodes: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	slow, err := NewDist(DistOptions{Nodes: 2, Seed: 3, NetDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	for i := 0; i < 100; i++ {
+		e := graph.NewEdgeUpdate(graph.Edge{Src: graph.VertexID(i%10 + 1), Dst: graph.VertexID(i%7 + 1), Ts: graph.Timestamp(i)})
+		fast.Ingest(e)
+		slow.Ingest(e)
+	}
+	plan := finPlan(t, 3, 3)
+	t0 := time.Now()
+	fast.Execute(plan, 1)
+	fastDur := time.Since(t0)
+	t0 = time.Now()
+	slow.Execute(plan, 1)
+	slowDur := time.Since(t0)
+	if slowDur < fastDur+8*time.Millisecond {
+		t.Fatalf("delay not applied: fast=%v slow=%v", fastDur, slowDur)
+	}
+	if fast.Nodes() != 2 || len(fast.Stores()) != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestSupernodeScanCost(t *testing.T) {
+	// A supernode with 10k neighbours forces 10k scans per TopK query —
+	// the skew behaviour behind Fig. 4(c).
+	s := NewStore(StoreOptions{})
+	for i := 0; i < 10000; i++ {
+		s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 1, Dst: graph.VertexID(i + 2), Ts: graph.Timestamp(i)}))
+	}
+	s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{Src: 2, Dst: 3, Ts: 1}))
+	exec := NewExecutor(s, 1)
+	_, big := exec.Execute(finPlan(t, 5), 1)
+	_, small := exec.Execute(finPlan(t, 5), 2)
+	if big.TraversedNeighbors != 10000 || small.TraversedNeighbors != 1 {
+		t.Fatalf("traversals: %d vs %d", big.TraversedNeighbors, small.TraversedNeighbors)
+	}
+}
+
+func BenchmarkAdhocQuerySingleNode(b *testing.B) {
+	s := NewStore(StoreOptions{})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s.ApplyUpdate(graph.NewEdgeUpdate(graph.Edge{
+			Src: graph.VertexID(rng.Intn(1000) + 1), Dst: graph.VertexID(rng.Intn(1000) + 1),
+			Ts: graph.Timestamp(i),
+		}))
+	}
+	sch := finSchema()
+	q := query.NewBuilder(sch, "Account").
+		Out("TransferTo", 25, sampling.TopK).
+		Out("TransferTo", 10, sampling.TopK).MustBuild("b")
+	plan, _ := query.Decompose(0, q, sch)
+	exec := NewExecutor(s, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Execute(plan, graph.VertexID(i%1000+1))
+	}
+}

@@ -1,0 +1,73 @@
+package kvstore
+
+import (
+	"math"
+
+	"helios/internal/graph"
+)
+
+// bloom is a split Bloom filter over key hashes, built once per run at
+// flush time. It keeps the read path of a hybrid memory/disk store from
+// touching disk for absent keys — the same role RocksDB's per-SST bloom
+// filters play for Helios's sample cache (§6).
+type bloom struct {
+	bits []uint64
+	k    uint32
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey bits each.
+func newBloom(n, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := uint32(math.Round(float64(bitsPerKey) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &bloom{bits: make([]uint64, (nbits+63)/64), k: k}
+}
+
+// hashKey derives the two base hashes for double hashing.
+func hashKey(key []byte) (uint64, uint64) {
+	// FNV-1a then splitmix finalize; the pair is independent enough for
+	// Kirsch–Mitzenmacher double hashing.
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h, graph.Hash64(h)
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := hashKey(key)
+	n := uint64(len(b.bits) * 64)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// mayContain reports whether key was possibly added (false positives
+// allowed, false negatives never).
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := hashKey(key)
+	n := uint64(len(b.bits) * 64)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

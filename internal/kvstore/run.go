@@ -1,0 +1,250 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+
+	"helios/internal/codec"
+)
+
+// run is one immutable sorted file of key/value entries plus its in-memory
+// read acceleration: a bloom filter and a sparse index (one entry per
+// indexStride keys), so a point lookup costs one bloom probe, one binary
+// search, and one bounded sequential file read.
+type run struct {
+	f      *os.File
+	path   string
+	size   int64
+	filter *bloom
+	index  []indexEntry // sorted by key
+	count  int
+}
+
+type indexEntry struct {
+	key    string
+	offset int64
+}
+
+// indexStride is the number of entries between sparse-index anchors.
+const indexStride = 16
+
+type flushEntry struct {
+	key string
+	entry
+}
+
+// frame layout per entry:
+//
+//	uvarint keyLen | key | uvarint (valLen<<1 | tombstone) | val
+
+func appendEntry(w *codec.Writer, key string, e entry) {
+	w.String(key)
+	flag := uint64(len(e.value)) << 1
+	if e.tombstone {
+		flag |= 1
+	}
+	w.Uvarint(flag)
+	w.Raw(e.value)
+}
+
+// writeRun writes sorted kvs to path and returns the opened run.
+func writeRun(path string, kvs []flushEntry, bloomBits int) (*run, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	r := &run{path: path, filter: newBloom(len(kvs), bloomBits), count: len(kvs)}
+	w := codec.NewWriter(256)
+	var off int64
+	for i, kv := range kvs {
+		if i%indexStride == 0 {
+			r.index = append(r.index, indexEntry{key: kv.key, offset: off})
+		}
+		r.filter.add([]byte(kv.key))
+		w.Reset()
+		appendEntry(w, kv.key, kv.entry)
+		n, err := bw.Write(w.Bytes())
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		off += int64(n)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r.f = rf
+	r.size = off
+	return r, nil
+}
+
+// openRun reopens an existing run file, rebuilding the bloom filter and
+// sparse index with one sequential scan.
+func openRun(path string, bloomBits int) (*run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{path: path, size: int64(len(data))}
+	// First pass: count entries to size the bloom filter.
+	count := 0
+	rd := codec.NewReader(data)
+	for rd.Remaining() > 0 {
+		if _, _, _, ok := readEntryFrom(rd); !ok {
+			return nil, fmt.Errorf("kvstore: corrupt run %s", path)
+		}
+		count++
+	}
+	r.count = count
+	r.filter = newBloom(count, bloomBits)
+	rd = codec.NewReader(data)
+	var off int64
+	i := 0
+	for rd.Remaining() > 0 {
+		before := rd.Remaining()
+		k, _, _, _ := readEntryFrom(rd)
+		if i%indexStride == 0 {
+			r.index = append(r.index, indexEntry{key: string(k), offset: off})
+		}
+		r.filter.add(k)
+		off += int64(before - rd.Remaining())
+		i++
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r.f = f
+	return r, nil
+}
+
+// readEntryFrom decodes one entry; ok is false on corruption. The returned
+// slices alias the reader's buffer.
+func readEntryFrom(rd *codec.Reader) (key, value []byte, tomb, ok bool) {
+	key = rd.Bytes32()
+	flag := rd.Uvarint()
+	if rd.Err() != nil {
+		return nil, nil, false, false
+	}
+	tomb = flag&1 != 0
+	if flag>>1 > uint64(rd.Remaining()) {
+		return nil, nil, false, false
+	}
+	value = rd.RawN(int(flag >> 1))
+	return key, value, tomb, rd.Err() == nil
+}
+
+// get performs a point lookup.
+func (r *run) get(key []byte) (value []byte, tomb, found bool, err error) {
+	if !r.filter.mayContain(key) {
+		return nil, false, false, nil
+	}
+	ks := string(key)
+	// Greatest index anchor ≤ key.
+	i := sort.Search(len(r.index), func(i int) bool { return r.index[i].key > ks }) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	start := r.index[i].offset
+	var end int64
+	if i+1 < len(r.index) {
+		end = r.index[i+1].offset
+	} else {
+		end = r.size
+	}
+	buf := make([]byte, end-start)
+	if _, err := r.f.ReadAt(buf, start); err != nil {
+		return nil, false, false, fmt.Errorf("kvstore: read %s: %w", r.path, err)
+	}
+	rd := codec.NewReader(buf)
+	for rd.Remaining() > 0 {
+		k, v, t, ok := readEntryFrom(rd)
+		if !ok {
+			return nil, false, false, fmt.Errorf("kvstore: corrupt block in %s", r.path)
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return v, t, true, nil
+		case 1:
+			return nil, false, false, nil // past it: absent
+		}
+	}
+	return nil, false, false, nil
+}
+
+// scan streams every entry in key order.
+func (r *run) scan(fn func(key, value []byte, tomb bool) bool) error {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		return err
+	}
+	rd := codec.NewReader(data)
+	for rd.Remaining() > 0 {
+		k, v, t, ok := readEntryFrom(rd)
+		if !ok {
+			return fmt.Errorf("kvstore: corrupt run %s", r.path)
+		}
+		if !fn(k, v, t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// mergeRuns produces the newest-wins union of runs (index 0 newest),
+// dropping tombstones — suitable for a full compaction.
+func mergeRuns(runs []*run) ([]flushEntry, error) {
+	merged := make(map[string]entry)
+	// Oldest first so newer runs overwrite.
+	for i := len(runs) - 1; i >= 0; i-- {
+		err := runs[i].scan(func(k, v []byte, tomb bool) bool {
+			merged[string(k)] = entry{value: append([]byte(nil), v...), tombstone: tomb}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]flushEntry, 0, len(merged))
+	for k, e := range merged {
+		if e.tombstone {
+			continue
+		}
+		out = append(out, flushEntry{key: k, entry: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
+}
+
+func (r *run) close() error {
+	if r.f == nil {
+		return nil
+	}
+	return r.f.Close()
+}
+
+// remove closes and deletes the run file (after compaction).
+func (r *run) remove() {
+	r.close()
+	os.Remove(r.path)
+}

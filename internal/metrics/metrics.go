@@ -1,0 +1,241 @@
+// Package metrics provides the lightweight instrumentation Helios uses to
+// report the paper's evaluation quantities: throughput counters (QPS,
+// records/s) and latency percentiles (average / P50 / P90 / P99 / max).
+//
+// Histograms use logarithmic bucketing (~4.6% relative error per bucket)
+// so that recording a sample is a single atomic increment — the serving
+// hot path records one sample per query and must not contend (Fig. 14
+// measures linear serving scale-up).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter. The zero value is ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// numBuckets covers 1ns .. ~585 years at 16 buckets per power of two.
+const (
+	bucketsPerPow2 = 16
+	numBuckets     = 64 * bucketsPerPow2
+)
+
+// Histogram records int64 samples (typically latencies in nanoseconds) into
+// logarithmic buckets. All methods are safe for concurrent use. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a sample to its bucket index: position within [2^e, 2^(e+1))
+// subdivided into bucketsPerPow2 slots. Shift-based to avoid overflow at the
+// top of the int64 range.
+func bucketOf(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v))
+	rem := v - (1 << uint(e))
+	var frac int64
+	switch {
+	case e > 4:
+		frac = rem >> uint(e-4)
+	case e > 0:
+		frac = rem << uint(4-e)
+	}
+	idx := e*bucketsPerPow2 + int(frac)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the representative (upper bound) value of bucket idx.
+func bucketUpper(idx int) int64 {
+	e := idx / bucketsPerPow2
+	frac := idx % bucketsPerPow2
+	base := int64(1) << uint(e)
+	step := base / bucketsPerPow2
+	if step == 0 {
+		step = 1
+	}
+	u := base + step*int64(frac+1)
+	if u < base { // overflow at the top of the int64 range
+		return math.MaxInt64
+	}
+	return u
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// RecordSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1), with the
+// histogram's ~4.6% relative bucket error.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			u := bucketUpper(i)
+			if m := h.max.Load(); u > m {
+				return m
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot captures the distribution summary at one instant.
+type Snapshot struct {
+	Count         int64
+	Mean          float64
+	P50, P90, P99 int64
+	Max           int64
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent Record
+// calls; intended for use between experiment phases.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Merge adds other's samples into h. Like Reset, not atomic under
+// concurrent writes; for post-run aggregation.
+func (h *Histogram) Merge(other *Histogram) {
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if m := other.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+	for i := range h.buckets {
+		if v := other.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+}
+
+// String renders the snapshot in milliseconds, the unit of every latency
+// figure in the paper.
+func (s Snapshot) String() string {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+		s.Count, s.Mean/1e6, ms(s.P50), ms(s.P90), ms(s.P99), ms(s.Max))
+}
+
+// Meter measures event throughput over explicit Start/Stop windows.
+type Meter struct {
+	events Counter
+	start  atomic.Int64
+}
+
+// Start begins (or restarts) the measurement window.
+func (m *Meter) Start() {
+	m.events.Reset()
+	m.start.Store(time.Now().UnixNano())
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.events.Add(n) }
+
+// Rate returns events per second since Start.
+func (m *Meter) Rate() float64 {
+	startNS := m.start.Load()
+	if startNS == 0 {
+		return 0
+	}
+	elapsed := float64(time.Now().UnixNano()-startNS) / 1e9
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.events.Value()) / elapsed
+}
+
+// Events returns the number of marked events.
+func (m *Meter) Events() int64 { return m.events.Value() }

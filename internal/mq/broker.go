@@ -1,0 +1,199 @@
+// Package mq implements the durable partitioned log broker Helios uses to
+// decouple its stages (§4.1 uses Kafka for the same role): graph updates
+// flow through an input topic partitioned across sampling workers, sampled
+// results flow through per-serving-worker sample queues, and subscription
+// deltas flow through a topic partitioned across sampling workers.
+//
+// The broker provides the Kafka subset the system depends on: named topics
+// with a fixed partition count, strictly ordered append-only partitions,
+// offset-addressed blocking fetches, key-hash routing, bounded retention,
+// and optional disk segments for durability.
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"helios/internal/graph"
+	"helios/internal/metrics"
+)
+
+// ErrClosed reports use of a closed broker or partition.
+var ErrClosed = errors.New("mq: closed")
+
+// Record is one log entry.
+type Record struct {
+	// Offset is the record's position in its partition, starting at 0.
+	Offset int64
+	// Key carries the routing key (typically a vertex ID).
+	Key uint64
+	// Value is the payload. Consumers must treat it as read-only.
+	Value []byte
+	// Ts is the append wall-clock time in nanoseconds.
+	Ts int64
+}
+
+// Options configures a broker.
+type Options struct {
+	// Dir enables disk segments under the given directory; empty keeps the
+	// broker memory-only (the default for tests and benches).
+	Dir string
+	// RetainRecords bounds the records kept per partition; 0 means
+	// unbounded. Consumers fetching below the retained head are snapped
+	// forward to it (matching Kafka's earliest-offset reset).
+	RetainRecords int
+	// SyncEvery fsyncs disk segments after this many appends; 0 defaults
+	// to 4096. Ignored for memory-only brokers.
+	SyncEvery int
+}
+
+// Broker owns a set of topics.
+type Broker struct {
+	mu     sync.RWMutex
+	opts   Options
+	topics map[string]*Topic
+	closed bool
+
+	// Appended counts records accepted across all topics.
+	Appended metrics.Counter
+	// Fetched counts records delivered to consumers.
+	Fetched metrics.Counter
+}
+
+// NewBroker returns an empty broker.
+func NewBroker(opts Options) *Broker {
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = 4096
+	}
+	return &Broker{opts: opts, topics: make(map[string]*Topic)}
+}
+
+// CreateTopic creates a topic with the given partition count, or returns
+// the existing topic if the partition count matches.
+func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("mq: topic %q needs ≥ 1 partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if t, ok := b.topics[name]; ok {
+		if len(t.parts) != partitions {
+			return nil, fmt.Errorf("mq: topic %q exists with %d partitions", name, len(t.parts))
+		}
+		return t, nil
+	}
+	t := &Topic{name: name, broker: b}
+	for i := 0; i < partitions; i++ {
+		p := newPartition(b, name, i)
+		if b.opts.Dir != "" {
+			if err := p.openSegment(b.opts.Dir); err != nil {
+				return nil, err
+			}
+		}
+		t.parts = append(t.parts, p)
+	}
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic returns a topic by name.
+func (b *Broker) Topic(name string) (*Topic, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	return t, ok
+}
+
+// Topics returns the topic names.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close shuts the broker down, waking all blocked consumers with ErrClosed
+// and closing disk segments.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	var firstErr error
+	for _, t := range b.topics {
+		for _, p := range t.parts {
+			if err := p.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Topic is a named, fixed-partition-count log.
+type Topic struct {
+	name   string
+	broker *Broker
+	parts  []*partition
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// NumPartitions returns the partition count.
+func (t *Topic) NumPartitions() int { return len(t.parts) }
+
+// Append appends value to an explicit partition and returns its offset.
+func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error) {
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return 0, fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	off, err := t.parts[partitionIdx].append(key, value)
+	if err == nil {
+		t.broker.Appended.Inc()
+	}
+	return off, err
+}
+
+// AppendByKey routes value to the partition owning key (same hash as the
+// graph partitioner so workers and the broker agree on ownership).
+func (t *Topic) AppendByKey(key uint64, value []byte) (int64, error) {
+	return t.Append(int(hashPartition(key, len(t.parts))), key, value)
+}
+
+// PartitionFor returns the partition index AppendByKey would route key to.
+func (t *Topic) PartitionFor(key uint64) int {
+	return int(hashPartition(key, len(t.parts)))
+}
+
+// hashPartition is the key→partition rule shared by local and remote
+// brokers (and by the graph partitioner, so ownership always agrees).
+func hashPartition(key uint64, parts int) uint64 {
+	return graph.Hash64(key) % uint64(parts)
+}
+
+// Depth returns the number of retained records in a partition (for
+// backpressure metrics and tests).
+func (t *Topic) Depth(partitionIdx int) int64 {
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next - p.head
+}
+
+// NextOffset returns the offset the next append to the partition will get.
+func (t *Topic) NextOffset(partitionIdx int) int64 {
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next
+}

@@ -1,0 +1,53 @@
+package mq
+
+import "time"
+
+// Bus abstracts the broker so workers run identically against the
+// in-process Broker (tests, benches, single-machine deployments) and the
+// RemoteBroker RPC client (multi-process deployments, see remote.go).
+type Bus interface {
+	// OpenTopic creates or opens a topic with the given partition count.
+	OpenTopic(name string, partitions int) (TopicHandle, error)
+	// Close releases the connection (remote) or shuts the broker down
+	// (local).
+	Close() error
+}
+
+// TopicHandle is the per-topic surface workers program against.
+type TopicHandle interface {
+	Name() string
+	NumPartitions() int
+	Append(partition int, key uint64, value []byte) (int64, error)
+	AppendByKey(key uint64, value []byte) (int64, error)
+	OpenConsumer(partition int, from int64) Cursor
+	// NextOffset reports the offset the next append will get; Depth the
+	// retained records of the partition.
+	NextOffset(partition int) int64
+	Depth(partition int) int64
+}
+
+// Cursor is an offset-tracked consumer of one partition.
+type Cursor interface {
+	Poll(max int, wait time.Duration) ([]Record, error)
+	Offset() int64
+	SeekTo(offset int64)
+	Lag() int64
+}
+
+// Interface adapters for the concrete broker.
+
+// OpenTopic implements Bus.
+func (b *Broker) OpenTopic(name string, partitions int) (TopicHandle, error) {
+	return b.CreateTopic(name, partitions)
+}
+
+// OpenConsumer implements TopicHandle.
+func (t *Topic) OpenConsumer(partition int, from int64) Cursor {
+	return t.NewConsumer(partition, from)
+}
+
+var (
+	_ Bus         = (*Broker)(nil)
+	_ TopicHandle = (*Topic)(nil)
+	_ Cursor      = (*Consumer)(nil)
+)

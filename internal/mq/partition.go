@@ -1,0 +1,118 @@
+package mq
+
+import (
+	"sync"
+	"time"
+)
+
+// partition is one append-only, strictly ordered log. Records are held in a
+// ring-ish slice window [head, next); retention truncates from the front.
+type partition struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	topic  string
+	idx    int
+	broker *Broker
+
+	records []Record // records[i] has offset head+i
+	head    int64    // offset of records[0]
+	next    int64    // offset of the next append
+	closed  bool
+
+	seg *segment // nil when memory-only
+}
+
+func newPartition(b *Broker, topic string, idx int) *partition {
+	p := &partition{topic: topic, idx: idx, broker: b}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *partition) append(key uint64, value []byte) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	rec := Record{Offset: p.next, Key: key, Value: value, Ts: time.Now().UnixNano()}
+	p.records = append(p.records, rec)
+	p.next++
+	if p.seg != nil {
+		if err := p.seg.append(rec); err != nil {
+			return 0, err
+		}
+	}
+	if retain := p.broker.opts.RetainRecords; retain > 0 && len(p.records) > 2*retain {
+		// Amortized trim: let the window grow to 2× the retention bound,
+		// then copy the newest `retain` records into a fresh slice (so the
+		// old backing array stops pinning dropped payloads). This keeps
+		// append O(1) amortized instead of O(retain) per append.
+		drop := len(p.records) - retain
+		kept := make([]Record, retain)
+		copy(kept, p.records[drop:])
+		p.records = kept
+		p.head += int64(drop)
+	}
+	p.cond.Broadcast()
+	return rec.Offset, nil
+}
+
+// fetch returns up to max records starting at offset, blocking up to wait
+// for data. A fetch below the retained head snaps forward to the head. The
+// returned records alias the partition's retained window and must be
+// treated as read-only.
+func (p *partition) fetch(offset int64, max int, wait time.Duration) ([]Record, int64, error) {
+	if max <= 0 {
+		max = 1
+	}
+	deadline := time.Now().Add(wait)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if offset < p.head {
+			offset = p.head
+		}
+		if offset < p.next {
+			start := int(offset - p.head)
+			end := start + max
+			if end > len(p.records) {
+				end = len(p.records)
+			}
+			out := p.records[start:end:end]
+			p.broker.Fetched.Add(int64(len(out)))
+			return out, offset + int64(len(out)), nil
+		}
+		if p.closed {
+			return nil, offset, ErrClosed
+		}
+		if wait <= 0 {
+			return nil, offset, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, offset, nil
+		}
+		// cond has no timed wait; poke waiters periodically from a timer.
+		t := time.AfterFunc(remaining, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		p.cond.Wait()
+		t.Stop()
+	}
+}
+
+func (p *partition) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	if p.seg != nil {
+		return p.seg.close()
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/rpc"
+)
+
+// Remote broker access: ServeBroker exposes a Broker over the RPC layer and
+// RemoteBroker is the matching client, so sampling/serving workers in other
+// processes share one durable queue service — the deployment of §4.1 where
+// Kafka sits between all stages.
+
+const (
+	methodOpenTopic = "mq.open"
+	methodAppend    = "mq.append"
+	methodFetch     = "mq.fetch"
+	methodMeta      = "mq.meta"
+)
+
+// ServeBroker registers the broker's RPC surface on srv.
+func ServeBroker(b *Broker, srv *rpc.Server) {
+	srv.Handle(methodOpenTopic, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		parts := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := b.CreateTopic(name, parts); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	srv.Handle(methodAppend, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		part := int(r.Uvarint())
+		key := r.Uvarint()
+		val := r.Bytes32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t, ok := b.Topic(name)
+		if !ok {
+			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		off, err := t.Append(part, key, v)
+		if err != nil {
+			return nil, err
+		}
+		w := codec.NewWriter(10)
+		w.Varint(off)
+		return w.Bytes(), nil
+	})
+	srv.Handle(methodFetch, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		part := int(r.Uvarint())
+		offset := r.Varint()
+		max := int(r.Uvarint())
+		waitMS := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t, ok := b.Topic(name)
+		if !ok {
+			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		if part < 0 || part >= len(t.parts) {
+			return nil, fmt.Errorf("mq: partition %d out of range", part)
+		}
+		recs, next, err := t.parts[part].fetch(offset, max, time.Duration(waitMS)*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		w := codec.NewWriter(64 * len(recs))
+		w.Varint(next)
+		w.Uvarint(uint64(len(recs)))
+		for _, rec := range recs {
+			w.Varint(rec.Offset)
+			w.Uvarint(rec.Key)
+			w.Varint(rec.Ts)
+			w.Bytes32(rec.Value)
+		}
+		return w.Bytes(), nil
+	})
+	srv.Handle(methodMeta, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		part := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t, ok := b.Topic(name)
+		if !ok {
+			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		w := codec.NewWriter(20)
+		w.Varint(t.NextOffset(part))
+		w.Varint(t.Depth(part))
+		return w.Bytes(), nil
+	})
+}
+
+// RemoteBroker is a Bus over an RPC connection to a broker server.
+type RemoteBroker struct {
+	client  *rpc.Client
+	timeout time.Duration
+
+	mu     sync.Mutex
+	topics map[string]*RemoteTopic
+}
+
+// DialBroker connects to a broker served by ServeBroker.
+func DialBroker(addr string, timeout time.Duration) (*RemoteBroker, error) {
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteBroker{client: c, timeout: timeout, topics: make(map[string]*RemoteTopic)}, nil
+}
+
+// OpenTopic implements Bus.
+func (rb *RemoteBroker) OpenTopic(name string, partitions int) (TopicHandle, error) {
+	w := codec.NewWriter(32)
+	w.String(name)
+	w.Uvarint(uint64(partitions))
+	if _, err := rb.client.Call(methodOpenTopic, w.Bytes(), rb.timeout); err != nil {
+		return nil, err
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if t, ok := rb.topics[name]; ok {
+		return t, nil
+	}
+	t := &RemoteTopic{broker: rb, name: name, parts: partitions}
+	rb.topics[name] = t
+	return t, nil
+}
+
+// Close implements Bus.
+func (rb *RemoteBroker) Close() error { return rb.client.Close() }
+
+// RemoteTopic is a TopicHandle over RPC.
+type RemoteTopic struct {
+	broker *RemoteBroker
+	name   string
+	parts  int
+}
+
+// Name implements TopicHandle.
+func (t *RemoteTopic) Name() string { return t.name }
+
+// NumPartitions implements TopicHandle.
+func (t *RemoteTopic) NumPartitions() int { return t.parts }
+
+// Append implements TopicHandle.
+func (t *RemoteTopic) Append(partition int, key uint64, value []byte) (int64, error) {
+	w := codec.NewWriter(32 + len(value))
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	w.Uvarint(key)
+	w.Bytes32(value)
+	resp, err := t.broker.client.Call(methodAppend, w.Bytes(), t.broker.timeout)
+	if err != nil {
+		return 0, err
+	}
+	r := codec.NewReader(resp)
+	off := r.Varint()
+	return off, r.Err()
+}
+
+// AppendByKey implements TopicHandle with the same routing hash as the
+// local broker.
+func (t *RemoteTopic) AppendByKey(key uint64, value []byte) (int64, error) {
+	return t.Append(int(hashPartition(key, t.parts)), key, value)
+}
+
+// NextOffset implements TopicHandle.
+func (t *RemoteTopic) NextOffset(partition int) int64 {
+	next, _ := t.meta(partition)
+	return next
+}
+
+// Depth implements TopicHandle.
+func (t *RemoteTopic) Depth(partition int) int64 {
+	_, depth := t.meta(partition)
+	return depth
+}
+
+func (t *RemoteTopic) meta(partition int) (next, depth int64) {
+	w := codec.NewWriter(32)
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	resp, err := t.broker.client.Call(methodMeta, w.Bytes(), t.broker.timeout)
+	if err != nil {
+		return 0, 0
+	}
+	r := codec.NewReader(resp)
+	return r.Varint(), r.Varint()
+}
+
+// OpenConsumer implements TopicHandle.
+func (t *RemoteTopic) OpenConsumer(partition int, from int64) Cursor {
+	return &RemoteConsumer{topic: t, partition: partition, offset: from}
+}
+
+// RemoteConsumer is a Cursor over RPC with long-poll fetches.
+type RemoteConsumer struct {
+	topic     *RemoteTopic
+	partition int
+	offset    int64
+}
+
+// Poll implements Cursor.
+func (c *RemoteConsumer) Poll(max int, wait time.Duration) ([]Record, error) {
+	w := codec.NewWriter(40)
+	w.String(c.topic.name)
+	w.Uvarint(uint64(c.partition))
+	w.Varint(c.offset)
+	w.Uvarint(uint64(max))
+	w.Uvarint(uint64(wait / time.Millisecond))
+	resp, err := c.topic.broker.client.Call(methodFetch, w.Bytes(), wait+c.topic.broker.timeout)
+	if err != nil {
+		return nil, err
+	}
+	r := codec.NewReader(resp)
+	next := r.Varint()
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for i := 0; i < n; i++ {
+		rec := Record{Offset: r.Varint(), Key: r.Uvarint(), Ts: r.Varint()}
+		val := r.Bytes32()
+		v := make([]byte, len(val))
+		copy(v, val)
+		rec.Value = v
+		recs = append(recs, rec)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	c.offset = next
+	return recs, nil
+}
+
+// Offset implements Cursor.
+func (c *RemoteConsumer) Offset() int64 { return c.offset }
+
+// SeekTo implements Cursor.
+func (c *RemoteConsumer) SeekTo(offset int64) { c.offset = offset }
+
+// Lag implements Cursor.
+func (c *RemoteConsumer) Lag() int64 {
+	return c.topic.NextOffset(c.partition) - c.offset
+}
+
+var (
+	_ Bus         = (*RemoteBroker)(nil)
+	_ TopicHandle = (*RemoteTopic)(nil)
+	_ Cursor      = (*RemoteConsumer)(nil)
+)

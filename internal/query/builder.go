@@ -1,0 +1,79 @@
+package query
+
+import (
+	"fmt"
+
+	"helios/internal/graph"
+	"helios/internal/sampling"
+)
+
+// Builder assembles a Query programmatically against a schema:
+//
+//	q, err := query.NewBuilder(schema, "User").
+//		Out("Click", 2, sampling.Random).
+//		Out("CoPurchase", 2, sampling.TopK).
+//		Build("rec")
+//
+// Errors are deferred to Build so call chains stay fluent.
+type Builder struct {
+	schema *graph.Schema
+	seed   graph.VertexType
+	hops   []Hop
+	err    error
+}
+
+// NewBuilder starts a query at the named seed vertex type.
+func NewBuilder(s *graph.Schema, seedType string) *Builder {
+	b := &Builder{schema: s}
+	seed, ok := s.VertexTypeID(seedType)
+	if !ok {
+		b.err = fmt.Errorf("query: unknown seed vertex type %q", seedType)
+		return b
+	}
+	b.seed = seed
+	return b
+}
+
+func (b *Builder) hop(edgeType string, dir graph.Direction, fanout int, strat sampling.Strategy) *Builder {
+	if b.err != nil {
+		return b
+	}
+	et, ok := b.schema.EdgeTypeID(edgeType)
+	if !ok {
+		b.err = fmt.Errorf("query: unknown edge type %q", edgeType)
+		return b
+	}
+	b.hops = append(b.hops, Hop{Edge: et, Dir: dir, Fanout: fanout, Strategy: strat})
+	return b
+}
+
+// Out appends a source→destination hop (the outV of Fig. 1).
+func (b *Builder) Out(edgeType string, fanout int, strat sampling.Strategy) *Builder {
+	return b.hop(edgeType, graph.Out, fanout, strat)
+}
+
+// In appends a destination→source hop.
+func (b *Builder) In(edgeType string, fanout int, strat sampling.Strategy) *Builder {
+	return b.hop(edgeType, graph.In, fanout, strat)
+}
+
+// Build validates and returns the query.
+func (b *Builder) Build(name string) (Query, error) {
+	if b.err != nil {
+		return Query{}, b.err
+	}
+	q := Query{Name: name, Seed: b.seed, Hops: b.hops}
+	if err := q.Validate(b.schema); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustBuild is Build for static configuration; it panics on error.
+func (b *Builder) MustBuild(name string) Query {
+	q, err := b.Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,321 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"helios/internal/graph"
+	"helios/internal/sampling"
+)
+
+// Parse reads the Gremlin-style query DSL of Fig. 1:
+//
+//	g.V('User').alias('Seed')
+//	  .outV('Click').sample(2).by('Random')
+//	  .outV('Co-purchase').sample(2).by('TopK').values
+//
+// and returns the equivalent Query, validated against the schema. The V()
+// step may carry a second argument (a placeholder seed ID) which is parsed
+// and ignored — the registered query applies to every seed of the type. A
+// hop without .by() defaults to Random; .alias() and .values are accepted
+// and ignored.
+func Parse(src string, s *graph.Schema) (Query, error) {
+	p := &parser{lex: newLexer(src), schema: s}
+	q, err := p.parse()
+	if err != nil {
+		return Query{}, fmt.Errorf("query: parse %q: %w", src, err)
+	}
+	if err := q.Validate(s); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for static configuration; it panics on error.
+func MustParse(src string, s *graph.Schema) Query {
+	q, err := Parse(src, s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokString
+	tokNumber
+	tokDot
+	tokLParen
+	tokRParen
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src string
+	off int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) && unicode.IsSpace(rune(l.src[l.off])) {
+		l.off++
+	}
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: l.off}, nil
+	}
+	start := l.off
+	c := l.src[l.off]
+	switch {
+	case c == '.':
+		l.off++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '(':
+		l.off++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.off++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.off++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.off++
+		for l.off < len(l.src) && l.src[l.off] != quote {
+			l.off++
+		}
+		if l.off >= len(l.src) {
+			return token{}, fmt.Errorf("unterminated string at offset %d", start)
+		}
+		text := l.src[start+1 : l.off]
+		l.off++
+		return token{kind: tokString, text: text, pos: start}, nil
+	case c >= '0' && c <= '9':
+		for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+			l.off++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: start}, nil
+	case isIdentRune(rune(c)):
+		for l.off < len(l.src) && isIdentRune(rune(l.src[l.off])) {
+			l.off++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+type parser struct {
+	lex    *lexer
+	schema *graph.Schema
+	tok    token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("unexpected %s at offset %d", p.tok, p.tok.pos)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) expectIdent(name string) error {
+	if p.tok.kind != tokIdent || !strings.EqualFold(p.tok.text, name) {
+		return fmt.Errorf("expected %q, found %s at offset %d", name, p.tok, p.tok.pos)
+	}
+	return p.advance()
+}
+
+// parse consumes: g '.' V '(' string [',' arg] ')' step* [.values]
+func (p *parser) parse() (Query, error) {
+	var q Query
+	if err := p.advance(); err != nil {
+		return q, err
+	}
+	if err := p.expectIdent("g"); err != nil {
+		return q, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return q, err
+	}
+	if err := p.expectIdent("V"); err != nil {
+		return q, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return q, err
+	}
+	seedTok, err := p.expect(tokString)
+	if err != nil {
+		return q, err
+	}
+	seed, ok := p.schema.VertexTypeID(seedTok.text)
+	if !ok {
+		return q, fmt.Errorf("unknown vertex type %q", seedTok.text)
+	}
+	q.Seed = seed
+	if p.tok.kind == tokComma { // optional placeholder seed ID
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+		if p.tok.kind != tokIdent && p.tok.kind != tokNumber && p.tok.kind != tokString {
+			return q, fmt.Errorf("bad V() seed argument %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return q, err
+	}
+
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+		step, err := p.expect(tokIdent)
+		if err != nil {
+			return q, err
+		}
+		switch strings.ToLower(step.text) {
+		case "values":
+			if p.tok.kind != tokEOF {
+				return q, fmt.Errorf("tokens after .values at offset %d", p.tok.pos)
+			}
+			// terminal marker
+		case "alias":
+			if _, err := p.parseStringArg(); err != nil {
+				return q, err
+			}
+		case "outv", "out":
+			if err := p.parseHop(&q, graph.Out); err != nil {
+				return q, err
+			}
+		case "inv", "in":
+			if err := p.parseHop(&q, graph.In); err != nil {
+				return q, err
+			}
+		case "sample":
+			if len(q.Hops) == 0 {
+				return q, fmt.Errorf(".sample before any hop at offset %d", step.pos)
+			}
+			n, err := p.parseNumberArg()
+			if err != nil {
+				return q, err
+			}
+			q.Hops[len(q.Hops)-1].Fanout = n
+		case "by":
+			if len(q.Hops) == 0 {
+				return q, fmt.Errorf(".by before any hop at offset %d", step.pos)
+			}
+			name, err := p.parseStringArg()
+			if err != nil {
+				return q, err
+			}
+			strat, err := sampling.ParseStrategy(name)
+			if err != nil {
+				return q, err
+			}
+			q.Hops[len(q.Hops)-1].Strategy = strat
+		default:
+			return q, fmt.Errorf("unknown step %q at offset %d", step.text, step.pos)
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return q, fmt.Errorf("unexpected %s at offset %d", p.tok, p.tok.pos)
+	}
+	for i, h := range q.Hops {
+		if h.Fanout == 0 {
+			return q, fmt.Errorf("hop %d has no .sample(n)", i+1)
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseHop(q *Query, dir graph.Direction) error {
+	name, err := p.parseStringArg()
+	if err != nil {
+		return err
+	}
+	et, ok := p.schema.EdgeTypeID(name)
+	if !ok {
+		return fmt.Errorf("unknown edge type %q", name)
+	}
+	q.Hops = append(q.Hops, Hop{Edge: et, Dir: dir, Strategy: sampling.Random})
+	return nil
+}
+
+func (p *parser) parseStringArg() (string, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", err
+	}
+	t, err := p.expect(tokString)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseNumberArg() (int, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return 0, err
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,189 @@
+// Package query models the K-hop sampling queries Helios serves and their
+// decomposition into one-hop queries (§5.1).
+//
+// A GNN model is trained against a fixed sampling pattern — fan-outs, hop
+// count and per-hop strategy — so inference-time queries are known ahead of
+// time (§1, key insight). Users register queries either through the Builder
+// or the textual Gremlin-style DSL of Fig. 1; the coordinator decomposes a
+// registered query into its one-hop constituents and distributes the
+// resulting dependency DAG to every worker.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"helios/internal/graph"
+	"helios/internal/sampling"
+)
+
+// ID identifies a registered K-hop query.
+type ID uint16
+
+// HopID identifies one one-hop query globally: the registered query plus
+// the hop index.
+type HopID uint32
+
+// MakeHopID packs a query ID and hop index.
+func MakeHopID(q ID, hop int) HopID {
+	return HopID(uint32(q)<<8 | uint32(hop)&0xff)
+}
+
+// Query returns the registered query component.
+func (h HopID) Query() ID { return ID(h >> 8) }
+
+// Hop returns the hop index component.
+func (h HopID) Hop() int { return int(h & 0xff) }
+
+func (h HopID) String() string {
+	return fmt.Sprintf("Q%d.%d", h.Query(), h.Hop()+1)
+}
+
+// Hop describes one hop of a K-hop query.
+type Hop struct {
+	Edge     graph.EdgeType
+	Dir      graph.Direction
+	Fanout   int
+	Strategy sampling.Strategy
+}
+
+// Query is a K-hop sampling query.
+type Query struct {
+	Name string
+	Seed graph.VertexType
+	Hops []Hop
+}
+
+// K returns the hop count.
+func (q *Query) K() int { return len(q.Hops) }
+
+// Fanouts returns the per-hop fan-outs, e.g. [25, 10].
+func (q *Query) Fanouts() []int {
+	out := make([]int, len(q.Hops))
+	for i, h := range q.Hops {
+		out[i] = h.Fanout
+	}
+	return out
+}
+
+// MaxLookups returns the §6 lookup bounds for serving this query from the
+// sample cache: sample-table lookups = Π_{i=1}^{K-1} C_i (plus one for the
+// seed), feature-table lookups = Π_{i=1}^{K} C_i (plus the seed feature).
+func (q *Query) MaxLookups() (sampleLookups, featureLookups int) {
+	sampleLookups = 1 // the seed's first-hop cell
+	featureLookups = 1
+	prod := 1
+	for i, h := range q.Hops {
+		prod *= h.Fanout
+		featureLookups += prod
+		if i < len(q.Hops)-1 {
+			sampleLookups += prod
+		}
+	}
+	return sampleLookups, featureLookups
+}
+
+// Validate checks the hop chain against the schema: every hop's origin type
+// must equal the previous hop's target type (the seed type for hop 1) and
+// fan-outs must be positive.
+func (q *Query) Validate(s *graph.Schema) error {
+	if len(q.Hops) == 0 {
+		return errors.New("query: no hops")
+	}
+	cur := q.Seed
+	for i, h := range q.Hops {
+		if h.Fanout < 1 {
+			return fmt.Errorf("query: hop %d fan-out must be ≥ 1", i+1)
+		}
+		origin, ok := s.OriginType(h.Edge, h.Dir)
+		if !ok {
+			return fmt.Errorf("query: hop %d references unknown edge type %d", i+1, h.Edge)
+		}
+		if origin != cur {
+			return fmt.Errorf("query: hop %d on edge %q starts at %q but walk is at %q",
+				i+1, s.EdgeTypeName(h.Edge), s.VertexTypeName(origin), s.VertexTypeName(cur))
+		}
+		cur, _ = s.EndpointType(h.Edge, h.Dir)
+	}
+	return nil
+}
+
+// String renders the query in the Table 2 pattern style, e.g.
+// "User-Click-Item-CoPurchase-Item [2,2]".
+func (q *Query) Describe(s *graph.Schema) string {
+	var b strings.Builder
+	b.WriteString(s.VertexTypeName(q.Seed))
+	cur := q.Seed
+	for _, h := range q.Hops {
+		b.WriteByte('-')
+		b.WriteString(s.EdgeTypeName(h.Edge))
+		b.WriteByte('-')
+		cur, _ = s.EndpointType(h.Edge, h.Dir)
+		b.WriteString(s.VertexTypeName(cur))
+	}
+	fmt.Fprintf(&b, " %v", q.Fanouts())
+	return b.String()
+}
+
+// OneHop is one decomposed one-hop query: the unit sampling workers
+// maintain a reservoir table for.
+type OneHop struct {
+	ID HopID
+	Hop
+	// OriginType is the vertex type this one-hop query keys on; TargetType
+	// is the sampled side (from the schema's endpoint typing).
+	OriginType, TargetType graph.VertexType
+	// Last marks the final hop, whose samples need features but no further
+	// hop subscription.
+	Last bool
+}
+
+// Plan is the decomposition of one registered query plus its dependency
+// DAG: one-hop i feeds one-hop i+1 (§4.1: "models the data dependency
+// between one-hop queries as a directed acyclic graph").
+type Plan struct {
+	QueryID ID
+	Query   Query
+	OneHops []OneHop
+	// Next[i] lists the indices of one-hop queries consuming the outputs
+	// of OneHops[i]; for a single chain query this is [i+1] (or empty for
+	// the last hop), but the representation admits future tree-shaped
+	// queries.
+	Next [][]int
+}
+
+// Decompose splits q into its one-hop queries, validating against the
+// schema (§5.1).
+func Decompose(id ID, q Query, s *graph.Schema) (*Plan, error) {
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	p := &Plan{QueryID: id, Query: q}
+	for i, h := range q.Hops {
+		origin, _ := s.OriginType(h.Edge, h.Dir)
+		target, _ := s.EndpointType(h.Edge, h.Dir)
+		p.OneHops = append(p.OneHops, OneHop{
+			ID:         MakeHopID(id, i),
+			Hop:        h,
+			OriginType: origin,
+			TargetType: target,
+			Last:       i == len(q.Hops)-1,
+		})
+		if i < len(q.Hops)-1 {
+			p.Next = append(p.Next, []int{i + 1})
+		} else {
+			p.Next = append(p.Next, nil)
+		}
+	}
+	return p, nil
+}
+
+// NextHop returns the one-hop query fed by hop index i, or nil for the last
+// hop (chain queries have at most one successor).
+func (p *Plan) NextHop(i int) *OneHop {
+	if i < 0 || i >= len(p.Next) || len(p.Next[i]) == 0 {
+		return nil
+	}
+	return &p.OneHops[p.Next[i][0]]
+}

@@ -1,0 +1,324 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"helios/internal/graph"
+	"helios/internal/sampling"
+)
+
+// ecommerceSchema builds the Fig. 1 schema: User-Click-Item-CoPurchase-Item.
+func ecommerceSchema() *graph.Schema {
+	s := graph.NewSchema()
+	user := s.AddVertexType("User")
+	item := s.AddVertexType("Item")
+	s.AddEdgeType("Click", user, item)
+	s.AddEdgeType("Co-purchase", item, item)
+	return s
+}
+
+func fig1Query(t *testing.T, s *graph.Schema) Query {
+	t.Helper()
+	q, err := NewBuilder(s, "User").
+		Out("Click", 2, sampling.Random).
+		Out("Co-purchase", 2, sampling.TopK).
+		Build("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestHopID(t *testing.T) {
+	h := MakeHopID(7, 2)
+	if h.Query() != 7 || h.Hop() != 2 {
+		t.Fatalf("pack/unpack: %v", h)
+	}
+	if h.String() != "Q7.3" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	s := ecommerceSchema()
+	q := fig1Query(t, s)
+	if q.K() != 2 {
+		t.Fatalf("K = %d", q.K())
+	}
+	fo := q.Fanouts()
+	if len(fo) != 2 || fo[0] != 2 || fo[1] != 2 {
+		t.Fatalf("fanouts = %v", fo)
+	}
+	if q.Hops[0].Strategy != sampling.Random || q.Hops[1].Strategy != sampling.TopK {
+		t.Fatal("strategies wrong")
+	}
+	desc := q.Describe(s)
+	if desc != "User-Click-Item-Co-purchase-Item [2 2]" {
+		t.Fatalf("Describe = %q", desc)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	s := ecommerceSchema()
+	if _, err := NewBuilder(s, "Nope").Out("Click", 2, sampling.Random).Build("x"); err == nil {
+		t.Fatal("unknown seed should fail")
+	}
+	if _, err := NewBuilder(s, "User").Out("Nope", 2, sampling.Random).Build("x"); err == nil {
+		t.Fatal("unknown edge should fail")
+	}
+	// Type mismatch: Co-purchase starts at Item, not User.
+	if _, err := NewBuilder(s, "User").Out("Co-purchase", 2, sampling.Random).Build("x"); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+	if _, err := NewBuilder(s, "User").Build("x"); err == nil {
+		t.Fatal("empty query should fail")
+	}
+	if _, err := NewBuilder(s, "User").Out("Click", 0, sampling.Random).Build("x"); err == nil {
+		t.Fatal("zero fan-out should fail")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	s := ecommerceSchema()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on error")
+		}
+	}()
+	NewBuilder(s, "Nope").MustBuild("x")
+}
+
+func TestInDirectionValidation(t *testing.T) {
+	s := ecommerceSchema()
+	// Click is User→Item; In from Item side walks Item→User.
+	q, err := NewBuilder(s, "Item").In("Click", 3, sampling.Random).Build("reverse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Hops[0].Dir != graph.In {
+		t.Fatal("direction not recorded")
+	}
+}
+
+func TestMaxLookups(t *testing.T) {
+	s := ecommerceSchema()
+	q := fig1Query(t, s)
+	// Fan-outs [2,2]: sample lookups = 1 + 2 = 3; feature = 1 + 2 + 4 = 7.
+	sl, fl := q.MaxLookups()
+	if sl != 3 || fl != 7 {
+		t.Fatalf("lookups = %d, %d", sl, fl)
+	}
+	// Paper formula check for [25,10]: sample = 1+25, feature = 1+25+250.
+	q2 := Query{Seed: q.Seed, Hops: []Hop{
+		{Edge: q.Hops[0].Edge, Fanout: 25},
+		{Edge: q.Hops[1].Edge, Fanout: 10},
+	}}
+	sl, fl = q2.MaxLookups()
+	if sl != 26 || fl != 276 {
+		t.Fatalf("[25,10] lookups = %d, %d", sl, fl)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	s := ecommerceSchema()
+	q := fig1Query(t, s)
+	p, err := Decompose(3, q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.OneHops) != 2 {
+		t.Fatalf("one-hops = %d", len(p.OneHops))
+	}
+	q1, q2 := p.OneHops[0], p.OneHops[1]
+	if q1.ID != MakeHopID(3, 0) || q2.ID != MakeHopID(3, 1) {
+		t.Fatal("hop IDs wrong")
+	}
+	user, _ := s.VertexTypeID("User")
+	item, _ := s.VertexTypeID("Item")
+	if q1.OriginType != user || q1.TargetType != item {
+		t.Fatal("Q1 typing wrong")
+	}
+	if q2.OriginType != item || q2.TargetType != item {
+		t.Fatal("Q2 typing wrong")
+	}
+	if q1.Last || !q2.Last {
+		t.Fatal("Last flags wrong")
+	}
+	if next := p.NextHop(0); next == nil || next.ID != q2.ID {
+		t.Fatal("DAG edge Q1→Q2 missing")
+	}
+	if p.NextHop(1) != nil {
+		t.Fatal("last hop should have no successor")
+	}
+	if p.NextHop(-1) != nil || p.NextHop(5) != nil {
+		t.Fatal("out-of-range NextHop should be nil")
+	}
+}
+
+func TestDecomposeInvalid(t *testing.T) {
+	s := ecommerceSchema()
+	bad := Query{Seed: 0, Hops: nil}
+	if _, err := Decompose(1, bad, s); err == nil {
+		t.Fatal("invalid query should not decompose")
+	}
+}
+
+func TestParseFig1(t *testing.T) {
+	s := ecommerceSchema()
+	src := `g.V('User', ID).alias('Seed')
+	  .OutV('Click').sample(2).by('Random')
+	  .OutV('Co-purchase').sample(2).by('TopK').values`
+	q, err := Parse(src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K() != 2 {
+		t.Fatalf("K = %d", q.K())
+	}
+	if q.Hops[0].Fanout != 2 || q.Hops[0].Strategy != sampling.Random {
+		t.Fatalf("hop1 = %+v", q.Hops[0])
+	}
+	if q.Hops[1].Fanout != 2 || q.Hops[1].Strategy != sampling.TopK {
+		t.Fatalf("hop2 = %+v", q.Hops[1])
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	s := ecommerceSchema()
+	for _, src := range []string{
+		`g.V('User').outV('Click').sample(25)`,                              // .by omitted → Random
+		`g.V("User").outV("Click").sample(25).by("TopK")`,                   // double quotes
+		`g.V('Item').inV('Click').sample(5)`,                                // In direction
+		`g.V('User', 42).outV('Click').sample(1).by('EdgeWeight')`,          // numeric seed arg
+		`g.V('User').out('Click').sample(3)`,                                // out alias
+		`  g . V ( 'User' ) . outV ( 'Click' ) . sample ( 2 ) `,             // whitespace
+		`g.V('User').outV('Click').sample(2).outV('Co-purchase').sample(2)`, // chained hops
+	} {
+		if _, err := Parse(src, s); err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := ecommerceSchema()
+	for _, src := range []string{
+		``,
+		`h.V('User')`,
+		`g.W('User')`,
+		`g.V('Nope').outV('Click').sample(2)`,
+		`g.V('User').outV('Nope').sample(2)`,
+		`g.V('User').outV('Click')`, // missing sample
+		`g.V('User').sample(2)`,     // sample before hop
+		`g.V('User').by('Random')`,  // by before hop
+		`g.V('User').outV('Click').sample(2).by('Bogus')`,   // unknown strategy
+		`g.V('User').outV('Click').sample(x)`,               // non-numeric fanout
+		`g.V('User').outV('Click').sample(2).values.values`, // tokens after values
+		`g.V('User').outV('Click').sample(2).frobnicate()`,  // unknown step
+		`g.V('User').outV('Click').sample(2) trailing`,      // trailing garbage
+		`g.V('User$')`, // bad character
+		`g.V('User`,    // unterminated string
+		`g.V('User').outV('Co-purchase').sample(2)`, // type mismatch
+	} {
+		if _, err := Parse(src, s); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsSource(t *testing.T) {
+	s := ecommerceSchema()
+	_, err := Parse(`g.V('User').outV('Click')`, s)
+	if err == nil || !strings.Contains(err.Error(), "sample") {
+		t.Fatalf("error should explain the missing sample: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	s := ecommerceSchema()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic")
+		}
+	}()
+	MustParse(`garbage`, s)
+}
+
+func TestTable2Queries(t *testing.T) {
+	// All five Table 2 query patterns must build and decompose.
+	s := graph.NewSchema()
+	person := s.AddVertexType("Person")
+	comment := s.AddVertexType("Comment")
+	forum := s.AddVertexType("Forum")
+	account := s.AddVertexType("Account")
+	user := s.AddVertexType("User")
+	item := s.AddVertexType("Item")
+	s.AddEdgeType("Knows", person, person)
+	s.AddEdgeType("Likes", person, comment)
+	s.AddEdgeType("Has", forum, person)
+	s.AddEdgeType("TransferTo", account, account)
+	s.AddEdgeType("Click", user, item)
+	s.AddEdgeType("CoPurchase", item, item)
+
+	queries := []struct {
+		name string
+		q    Query
+		want string
+	}{
+		{"BI", NewBuilder(s, "Person").Out("Knows", 25, sampling.TopK).Out("Likes", 10, sampling.TopK).MustBuild("bi"),
+			"Person-Knows-Person-Likes-Comment [25 10]"},
+		{"INTER", NewBuilder(s, "Forum").Out("Has", 25, sampling.TopK).Out("Knows", 10, sampling.TopK).MustBuild("inter"),
+			"Forum-Has-Person-Knows-Person [25 10]"},
+		{"FIN", NewBuilder(s, "Account").Out("TransferTo", 25, sampling.TopK).Out("TransferTo", 10, sampling.TopK).MustBuild("fin"),
+			"Account-TransferTo-Account-TransferTo-Account [25 10]"},
+		{"Taobao", NewBuilder(s, "User").Out("Click", 25, sampling.TopK).Out("CoPurchase", 10, sampling.TopK).MustBuild("taobao"),
+			"User-Click-Item-CoPurchase-Item [25 10]"},
+		{"INTER-3hop", NewBuilder(s, "Forum").Out("Has", 25, sampling.TopK).Out("Knows", 10, sampling.TopK).Out("Knows", 5, sampling.TopK).MustBuild("inter3"),
+			"Forum-Has-Person-Knows-Person-Knows-Person [25 10 5]"},
+	}
+	for i, tc := range queries {
+		if got := tc.q.Describe(s); got != tc.want {
+			t.Fatalf("%s: Describe = %q, want %q", tc.name, got, tc.want)
+		}
+		if _, err := Decompose(ID(i), tc.q, s); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// The parser must reject arbitrary garbage with errors, never panics.
+	s := ecommerceSchema()
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src, s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations of a valid query must also never panic.
+	valid := `g.V('User').outV('Click').sample(2).by('TopK')`
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		b := []byte(valid)
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", b, r)
+				}
+			}()
+			_, _ = Parse(string(b), s)
+		}()
+	}
+}

@@ -1,0 +1,359 @@
+// Package rpc is the length-framed binary RPC layer connecting Helios
+// processes: the frontend to serving workers, workers to the coordinator,
+// and the distributed graphdb baseline's partitions to each other. It is a
+// minimal multiplexed request/response protocol over TCP — one connection
+// carries any number of concurrent calls correlated by request ID.
+//
+// For experiments that model datacenter topologies (Fig. 4(d) varies
+// cluster size), both ends accept an injected per-call delay that stands in
+// for network RTT beyond the loopback's.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed reports use of a closed client or server.
+var ErrClosed = errors.New("rpc: closed")
+
+// ErrTimeout reports an expired call deadline.
+var ErrTimeout = errors.New("rpc: call timeout")
+
+// RemoteError wraps an error string returned by a handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+const (
+	frameRequest  = 0
+	frameResponse = 1
+	frameError    = 2
+
+	maxFrame = 64 << 20 // sanity bound
+)
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(req []byte) ([]byte, error)
+
+// Server serves registered handlers over TCP.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Delay is slept before handling each request, simulating network RTT
+	// for topology experiments. Zero for production use.
+	Delay time.Duration
+}
+
+// NewServer returns a server with no handlers.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers a handler for method, replacing any previous one.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting. It returns
+// the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		typ, id, method, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != frameRequest {
+			continue // ignore stray frames
+		}
+		s.mu.RLock()
+		h := s.handlers[method]
+		delay := s.Delay
+		s.mu.RUnlock()
+		// Handle concurrently: one slow call must not head-of-line block
+		// the connection.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			var resp []byte
+			var herr error
+			if h == nil {
+				herr = fmt.Errorf("unknown method %q", method)
+			} else {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							herr = fmt.Errorf("handler panic: %v", r)
+						}
+					}()
+					resp, herr = h(payload)
+				}()
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if herr != nil {
+				writeFrame(conn, frameError, id, "", []byte(herr.Error()))
+				return
+			}
+			writeFrame(conn, frameResponse, id, "", resp)
+		}()
+	}
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes every connection, and waits for in-flight
+// handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// frame layout:
+//
+//	uint32 length | byte type | uint64 id | uint16 methodLen | method | payload
+func writeFrame(w io.Writer, typ byte, id uint64, method string, payload []byte) error {
+	if len(method) > 0xffff {
+		return errors.New("rpc: method name too long")
+	}
+	total := 1 + 8 + 2 + len(method) + len(payload)
+	if total > maxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", total)
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	buf[4] = typ
+	binary.BigEndian.PutUint64(buf[5:], id)
+	binary.BigEndian.PutUint16(buf[13:], uint16(len(method)))
+	copy(buf[15:], method)
+	copy(buf[15+len(method):], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, id uint64, method string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 11 || total > maxFrame {
+		err = fmt.Errorf("rpc: bad frame length %d", total)
+		return
+	}
+	buf := make([]byte, total)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	typ = buf[0]
+	id = binary.BigEndian.Uint64(buf[1:])
+	mlen := int(binary.BigEndian.Uint16(buf[9:]))
+	if 11+mlen > int(total) {
+		err = errors.New("rpc: bad method length")
+		return
+	}
+	method = string(buf[11 : 11+mlen])
+	payload = buf[11+mlen:]
+	return
+}
+
+// Client is a multiplexed RPC client over one TCP connection.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+
+	// Delay is slept inside every Call, simulating network RTT.
+	Delay time.Duration
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan result)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		typ, id, _, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var res result
+		switch typ {
+		case frameError:
+			res = result{err: &RemoteError{Msg: string(payload)}}
+		default:
+			res = result{payload: payload}
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	if c.closed.Load() {
+		err = ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, ch := range c.pending {
+		ch <- result{err: err}
+		delete(c.pending, id)
+	}
+}
+
+// Call invokes method with payload req and waits up to timeout for the
+// response (0 means wait forever).
+func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frameRequest, id, method, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-timer:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -1,0 +1,248 @@
+package sampler
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/sampling"
+)
+
+// Checkpointing (§4.1: the coordinator "periodically triggers checkpointing
+// for fault tolerance"). A checkpoint serializes every shard's reservoir,
+// feature and subscription tables. Each shard snapshots itself inside its
+// own actor, so the per-shard image is consistent without stopping the
+// worker; the checkpoint as a whole is eventually consistent across shards,
+// which matches the system's consistency model (§6).
+
+const checkpointMagic = "HELIOS-SAW-v1"
+
+// Checkpoint writes the worker state to w. The worker must be started.
+func (w *Worker) Checkpoint(out io.Writer) error {
+	if !w.started {
+		return fmt.Errorf("sampler: checkpoint requires a started worker")
+	}
+	cw := codec.NewWriter(1 << 16)
+	cw.String(checkpointMagic)
+	// Consumer positions are recorded before the shard barriers, so replay
+	// from them covers every event not yet reflected in the snapshots
+	// (at-least-once).
+	cw.Varint(w.updOffset.Load())
+	cw.Varint(w.subsOffset.Load())
+	cw.Uvarint(uint64(len(w.shards)))
+	for i := range w.shards {
+		ch := make(chan []byte, 1)
+		w.sampling.SendTo(i, event{kind: evSnapshot, snap: ch})
+		blob := <-ch
+		cw.Bytes32(blob)
+	}
+	_, err := out.Write(cw.Bytes())
+	return err
+}
+
+// CheckpointFile writes the checkpoint to path atomically.
+func (w *Worker) CheckpointFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := w.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// snapshotShard serializes one shard (runs inside the owning actor).
+func (w *Worker) snapshotShard(st *shard) []byte {
+	cw := codec.NewWriter(1 << 12)
+	cw.Uvarint(uint64(len(st.reservoirs)))
+	for hid, hopRes := range st.reservoirs {
+		cw.Uvarint(uint64(hid))
+		cw.Uvarint(uint64(len(hopRes)))
+		for v, re := range hopRes {
+			cw.Uvarint(uint64(v))
+			cw.Varint(re.touch)
+			cw.Uvarint(re.res.Seen())
+			items := re.res.Items()
+			cw.Uvarint(uint64(len(items)))
+			for _, s := range items {
+				cw.Uvarint(uint64(s.Neighbor))
+				cw.Varint(int64(s.Ts))
+				cw.Float32(s.Weight)
+			}
+		}
+	}
+	cw.Uvarint(uint64(len(st.features)))
+	for v, fe := range st.features {
+		cw.Uvarint(uint64(v))
+		cw.Varint(fe.touch)
+		cw.Float32s(fe.feat)
+	}
+	cw.Uvarint(uint64(len(st.sampleSubs)))
+	for hid, vsubs := range st.sampleSubs {
+		cw.Uvarint(uint64(hid))
+		cw.Uvarint(uint64(len(vsubs)))
+		for v, subs := range vsubs {
+			cw.Uvarint(uint64(v))
+			cw.Uvarint(uint64(len(subs)))
+			for sew, cnt := range subs {
+				cw.Varint(int64(sew))
+				cw.Varint(int64(cnt))
+			}
+		}
+	}
+	cw.Uvarint(uint64(len(st.featSubs)))
+	for v, subs := range st.featSubs {
+		cw.Uvarint(uint64(v))
+		cw.Uvarint(uint64(len(subs)))
+		for sew, cnt := range subs {
+			cw.Varint(int64(sew))
+			cw.Varint(int64(cnt))
+		}
+	}
+	return append([]byte(nil), cw.Bytes()...)
+}
+
+// Restore loads a checkpoint into a worker that has not been started.
+// Entries are redistributed across the current shard count, so a worker may
+// restart with a different SampleThreads setting.
+func (w *Worker) Restore(in io.Reader) error {
+	if w.started {
+		return fmt.Errorf("sampler: restore requires a stopped worker")
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(data)
+	if r.String() != checkpointMagic {
+		return fmt.Errorf("sampler: bad checkpoint magic")
+	}
+	w.startUpd = r.Varint()
+	w.startSubs = r.Varint()
+	nShards := int(r.Uvarint())
+	for i := 0; i < nShards; i++ {
+		blob := r.Bytes32()
+		if r.Err() != nil {
+			return fmt.Errorf("sampler: truncated checkpoint: %w", r.Err())
+		}
+		if err := w.restoreShardBlob(blob); err != nil {
+			return err
+		}
+	}
+	return r.Finish()
+}
+
+// RestoreFile loads a checkpoint from path.
+func (w *Worker) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.Restore(f)
+}
+
+func (w *Worker) shardOf(v graph.VertexID) *shard {
+	return w.shards[graph.Hash64(uint64(v))%uint64(len(w.shards))]
+}
+
+func (w *Worker) restoreShardBlob(blob []byte) error {
+	r := codec.NewReader(blob)
+	nHops := int(r.Uvarint())
+	for i := 0; i < nHops; i++ {
+		hid := query.HopID(r.Uvarint())
+		h, known := w.hops[hid]
+		n := int(r.Uvarint())
+		for j := 0; j < n; j++ {
+			v := graph.VertexID(r.Uvarint())
+			touch := r.Varint()
+			seen := r.Uvarint()
+			cnt := int(r.Uvarint())
+			items := make([]sampling.Sample, 0, cnt)
+			for k := 0; k < cnt; k++ {
+				items = append(items, sampling.Sample{
+					Neighbor: graph.VertexID(r.Uvarint()),
+					Ts:       graph.Timestamp(r.Varint()),
+					Weight:   r.Float32(),
+				})
+			}
+			if r.Err() != nil {
+				return fmt.Errorf("sampler: corrupt reservoir record: %w", r.Err())
+			}
+			if !known {
+				continue // query no longer registered; drop its state
+			}
+			st := w.shardOf(v)
+			hopRes := st.reservoirs[hid]
+			if hopRes == nil {
+				hopRes = make(map[graph.VertexID]*resEntry)
+				st.reservoirs[hid] = hopRes
+			}
+			res := sampling.NewReservoir(h.oneHop.Strategy, h.oneHop.Fanout)
+			res.Restore(items, seen)
+			hopRes[v] = &resEntry{res: res, touch: touch}
+		}
+	}
+	nFeat := int(r.Uvarint())
+	for i := 0; i < nFeat; i++ {
+		v := graph.VertexID(r.Uvarint())
+		touch := r.Varint()
+		feat := r.Float32s()
+		if r.Err() != nil {
+			return fmt.Errorf("sampler: corrupt feature record: %w", r.Err())
+		}
+		w.shardOf(v).features[v] = &featEntry{feat: feat, touch: touch}
+	}
+	nSubHops := int(r.Uvarint())
+	for i := 0; i < nSubHops; i++ {
+		hid := query.HopID(r.Uvarint())
+		n := int(r.Uvarint())
+		for j := 0; j < n; j++ {
+			v := graph.VertexID(r.Uvarint())
+			m := int(r.Uvarint())
+			subs := make(map[int32]int32, m)
+			for k := 0; k < m; k++ {
+				sew := int32(r.Varint())
+				cnt := int32(r.Varint())
+				subs[sew] = cnt
+			}
+			if r.Err() != nil {
+				return fmt.Errorf("sampler: corrupt subscription record: %w", r.Err())
+			}
+			st := w.shardOf(v)
+			vsubs := st.sampleSubs[hid]
+			if vsubs == nil {
+				vsubs = make(map[graph.VertexID]map[int32]int32)
+				st.sampleSubs[hid] = vsubs
+			}
+			vsubs[v] = subs
+		}
+	}
+	nFeatSubs := int(r.Uvarint())
+	for i := 0; i < nFeatSubs; i++ {
+		v := graph.VertexID(r.Uvarint())
+		m := int(r.Uvarint())
+		subs := make(map[int32]int32, m)
+		for k := 0; k < m; k++ {
+			sew := int32(r.Varint())
+			cnt := int32(r.Varint())
+			subs[sew] = cnt
+		}
+		if r.Err() != nil {
+			return fmt.Errorf("sampler: corrupt feature-subscription record: %w", r.Err())
+		}
+		w.shardOf(v).featSubs[v] = subs
+	}
+	return r.Finish()
+}

@@ -1,0 +1,415 @@
+// Package sampler implements the Helios sampling worker (§4.2, §5): it
+// consumes one partition of the graph-update stream, maintains reservoir
+// tables for every registered one-hop query, tracks which serving workers
+// subscribe to which vertices, and publishes refreshed sample snapshots and
+// features to the serving workers' sample queues.
+//
+// Worker anatomy (Fig. 6), mapped onto actor pools:
+//
+//   - polling loops fetch updates and subscription deltas from the broker;
+//   - a sampling pool, sharded by vertex hash, owns the reservoir, feature
+//     and subscription tables (all state for a vertex belongs to exactly one
+//     actor, so the tables need no locks);
+//   - a publisher pool encodes outbound messages and appends them to the
+//     serving workers' sample queues per the subscription tables.
+//
+// Subscription deltas — including those between two vertices owned by the
+// same worker — always travel through the broker's subs topic. This keeps
+// the cascade acyclic (sampling actors never block on each other's
+// mailboxes) and replayable.
+package sampler
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/actor"
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/metrics"
+	"helios/internal/mq"
+	"helios/internal/query"
+	"helios/internal/wire"
+)
+
+// Config assembles a sampling worker.
+type Config struct {
+	// ID is this worker's index in [0, NumSamplers); it owns partition ID
+	// of the updates and subs topics.
+	ID int
+	// NumSamplers (M) and NumServers (N) size the two partitionings.
+	NumSamplers, NumServers int
+	// Plans are the decomposed queries registered by the coordinator.
+	Plans []*query.Plan
+	// Schema types the graph.
+	Schema *graph.Schema
+	// Broker carries all queues (local broker or RPC client).
+	Broker mq.Bus
+	// Namespace prefixes topic names when several clusters share a broker.
+	Namespace string
+	// Thread-pool sizes (§4.2's thread types). Zero values default to 1
+	// poll, 4 sampling, 2 publish.
+	PollThreads, SampleThreads, PublishThreads int
+	// MailboxDepth bounds actor queues; 0 defaults to 1024.
+	MailboxDepth int
+	// TTL removes reservoirs and features untouched for this long; 0
+	// disables expiry.
+	TTL time.Duration
+	// Seed makes the randomized strategies reproducible per worker.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.NumSamplers < 1 || c.ID < 0 || c.ID >= c.NumSamplers {
+		return fmt.Errorf("sampler: bad worker ID %d of %d", c.ID, c.NumSamplers)
+	}
+	if c.NumServers < 1 {
+		return fmt.Errorf("sampler: need ≥ 1 serving worker")
+	}
+	if c.Broker == nil || c.Schema == nil {
+		return fmt.Errorf("sampler: broker and schema are required")
+	}
+	if c.PollThreads <= 0 {
+		c.PollThreads = 1
+	}
+	if c.SampleThreads <= 0 {
+		c.SampleThreads = 4
+	}
+	if c.PublishThreads <= 0 {
+		c.PublishThreads = 2
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 1024
+	}
+	return nil
+}
+
+// hopInfo caches per-one-hop metadata for the dispatch path.
+type hopInfo struct {
+	oneHop query.OneHop
+	next   *query.OneHop // nil on the last hop
+}
+
+// Stats reports worker-level counters for the experiments.
+type Stats struct {
+	UpdatesProcessed int64
+	EdgesOffered     int64
+	Admissions       int64
+	SnapshotsSent    int64
+	FeaturesSent     int64
+	SubDeltasSent    int64
+	SubDeltasApplied int64
+	Expired          int64
+	SamplingDepth    int
+	PublishDepth     int
+	// Panics counts recovered handler panics across the worker's pools
+	// (should always be zero; a nonzero value means a protocol bug was
+	// contained by the actor supervisor).
+	Panics int64
+}
+
+// Worker is one sampling worker.
+type Worker struct {
+	cfg      Config
+	part     graph.Partitioner // over sampling workers
+	servPart graph.Partitioner // over serving workers
+	hops     map[query.HopID]hopInfo
+	byEdge   map[graph.EdgeType][]hopInfo
+
+	updatesTopic mq.TopicHandle
+	samplesTopic mq.TopicHandle
+	subsTopic    mq.TopicHandle
+
+	shards     []*shard
+	updOffset  atomic.Int64
+	subsOffset atomic.Int64
+	// startUpd/startSubs are consumer start positions restored from a
+	// checkpoint; replay from there is at-least-once (reprocessing the
+	// in-flight window is idempotent for TopK and harmless for Random —
+	// the reservoir remains a valid sample).
+	startUpd, startSubs int64
+	sampling            *actor.Pool[event]
+	publish             *actor.Pool[outMsg]
+	pollers             *actor.Loop
+	sweeper             *actor.Loop
+	started             bool
+
+	updatesProcessed metrics.Counter
+	edgesOffered     metrics.Counter
+	admissions       metrics.Counter
+	snapshotsSent    metrics.Counter
+	featuresSent     metrics.Counter
+	subDeltasSent    metrics.Counter
+	subDeltasApplied metrics.Counter
+	expired          metrics.Counter
+}
+
+// event is the sampling pool's message type; exactly one shape per kind.
+type event struct {
+	kind eventKind
+	// update events
+	update graph.Update
+	origin graph.VertexID // the vertex this event is keyed on
+	// subscription events
+	hop   query.HopID
+	sew   int32
+	delta int8
+	// sweep events
+	cutoff int64
+	// checkpoint events
+	snap chan<- []byte
+	ing  int64
+}
+
+type eventKind uint8
+
+const (
+	evEdge eventKind = iota + 1
+	evVertex
+	evSubDelta
+	evFeatSubDelta
+	evSweep
+	evSnapshot
+)
+
+// outMsg is the publisher pool's message type: an encoded wire message
+// bound for one partition of one topic.
+type outMsg struct {
+	topic     mq.TopicHandle
+	partition int
+	key       uint64
+	payload   []byte
+}
+
+// New assembles a worker. Topics are created if absent. Call Start to begin
+// consuming.
+func New(cfg Config) (*Worker, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:      cfg,
+		part:     graph.NewPartitioner(cfg.NumSamplers),
+		servPart: graph.NewPartitioner(cfg.NumServers),
+		hops:     make(map[query.HopID]hopInfo),
+		byEdge:   make(map[graph.EdgeType][]hopInfo),
+	}
+	for _, plan := range cfg.Plans {
+		for i, oh := range plan.OneHops {
+			info := hopInfo{oneHop: oh, next: plan.NextHop(i)}
+			w.hops[oh.ID] = info
+			w.byEdge[oh.Edge] = append(w.byEdge[oh.Edge], info)
+		}
+	}
+	var err error
+	if w.updatesTopic, err = cfg.Broker.OpenTopic(cfg.Namespace+wire.TopicUpdates, cfg.NumSamplers); err != nil {
+		return nil, err
+	}
+	if w.samplesTopic, err = cfg.Broker.OpenTopic(cfg.Namespace+wire.TopicSamples, cfg.NumServers); err != nil {
+		return nil, err
+	}
+	if w.subsTopic, err = cfg.Broker.OpenTopic(cfg.Namespace+wire.TopicSubs, cfg.NumSamplers); err != nil {
+		return nil, err
+	}
+	w.shards = make([]*shard, cfg.SampleThreads)
+	for i := range w.shards {
+		w.shards[i] = newShard(rand.NewSource(cfg.Seed + int64(cfg.ID)*1000 + int64(i)))
+	}
+	return w, nil
+}
+
+// Start launches the pools and polling loops.
+func (w *Worker) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.publish = actor.NewPool("publish", w.cfg.PublishThreads, w.cfg.MailboxDepth, w.handlePublish)
+	w.sampling = actor.NewPool("sampling", w.cfg.SampleThreads, w.cfg.MailboxDepth, w.handleEvent)
+
+	updCons := w.updatesTopic.OpenConsumer(w.cfg.ID, w.startUpd)
+	subCons := w.subsTopic.OpenConsumer(w.cfg.ID, w.startSubs)
+	// Dedicated pollers per input stream; consumers are not safe for
+	// concurrent use, so each stream gets exactly one goroutine.
+	w.pollers = actor.NewLoop(2, func(worker int) bool {
+		switch worker {
+		case 0:
+			return w.pollUpdates(updCons)
+		default:
+			return w.pollSubs(subCons)
+		}
+	})
+	if w.cfg.TTL > 0 {
+		w.sweeper = actor.NewLoop(1, func(int) bool {
+			time.Sleep(w.cfg.TTL / 4)
+			cutoff := time.Now().Add(-w.cfg.TTL).UnixNano()
+			for i := 0; i < w.sampling.Workers(); i++ {
+				w.sampling.SendTo(i, event{kind: evSweep, cutoff: cutoff})
+			}
+			return true
+		})
+	}
+}
+
+// Stop drains the pipeline: polling halts, the sampling pool finishes its
+// backlog (publishing as it goes), then the publisher pool drains.
+func (w *Worker) Stop() {
+	if !w.started {
+		return
+	}
+	w.started = false
+	w.pollers.Stop()
+	if w.sweeper != nil {
+		w.sweeper.Stop()
+	}
+	w.sampling.Close()
+	w.publish.Close()
+}
+
+const pollBatch = 512
+
+func (w *Worker) pollUpdates(c mq.Cursor) bool {
+	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
+	if err != nil {
+		return false // broker closed
+	}
+	for _, rec := range recs {
+		u, err := codec.DecodeUpdate(rec.Value)
+		if err != nil {
+			continue // poisoned record; count-and-skip keeps the stream alive
+		}
+		w.routeUpdate(u)
+	}
+	w.updOffset.Store(c.Offset())
+	return true
+}
+
+// routeUpdate fans an update out to the sampling actors that own state it
+// touches. An edge may be keyed on either endpoint depending on hop
+// direction; each distinct owned origin gets one event.
+func (w *Worker) routeUpdate(u graph.Update) {
+	switch u.Kind {
+	case graph.UpdateVertex:
+		if w.part.Of(u.Vertex.ID) != w.cfg.ID {
+			return
+		}
+		w.updatesProcessed.Inc()
+		w.sampling.Send(uint64(u.Vertex.ID), event{kind: evVertex, update: u, origin: u.Vertex.ID})
+	case graph.UpdateEdge:
+		hops := w.byEdge[u.Edge.Type]
+		if len(hops) == 0 {
+			return
+		}
+		w.updatesProcessed.Inc()
+		var sent [2]graph.VertexID
+		n := 0
+	hopLoop:
+		for _, h := range hops {
+			origin := u.Edge.Origin(h.oneHop.Dir)
+			if w.part.Of(origin) != w.cfg.ID {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if sent[i] == origin {
+					continue hopLoop
+				}
+			}
+			sent[n] = origin
+			n++
+			w.sampling.Send(uint64(origin), event{kind: evEdge, update: u, origin: origin})
+		}
+	}
+}
+
+func (w *Worker) pollSubs(c mq.Cursor) bool {
+	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
+	if err != nil {
+		return false
+	}
+	for _, rec := range recs {
+		m, err := wire.Decode(rec.Value)
+		if err != nil {
+			continue
+		}
+		switch m.Kind {
+		case wire.KindSubDelta:
+			w.sampling.Send(uint64(m.Vertex), event{
+				kind: evSubDelta, origin: m.Vertex, hop: m.Hop, sew: m.SEW, delta: m.Delta, ing: m.Ingested,
+			})
+		case wire.KindFeatSubDelta:
+			w.sampling.Send(uint64(m.Vertex), event{
+				kind: evFeatSubDelta, origin: m.Vertex, sew: m.SEW, delta: m.Delta, ing: m.Ingested,
+			})
+		}
+	}
+	w.subsOffset.Store(c.Offset())
+	return true
+}
+
+func (w *Worker) handlePublish(_ int, m outMsg) {
+	// Best effort: a closed broker during shutdown drops the tail.
+	_, _ = m.topic.Append(m.partition, m.key, m.payload)
+}
+
+// sendToServer enqueues an encoded message for serving worker sew.
+func (w *Worker) sendToServer(sew int32, m *wire.Message) {
+	w.publish.Send(uint64(sew), outMsg{
+		topic:     w.samplesTopic,
+		partition: int(sew),
+		key:       uint64(m.Vertex),
+		payload:   wire.Encode(m),
+	})
+}
+
+// sendSubDelta routes a subscription delta to the sampling worker owning
+// the subject vertex (possibly this worker) through the subs topic.
+func (w *Worker) sendSubDelta(m *wire.Message) {
+	w.subDeltasSent.Inc()
+	w.publish.Send(uint64(m.Vertex), outMsg{
+		topic:     w.subsTopic,
+		partition: w.part.Of(m.Vertex),
+		key:       uint64(m.Vertex),
+		payload:   wire.Encode(m),
+	})
+}
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() Stats {
+	s := Stats{
+		UpdatesProcessed: w.updatesProcessed.Value(),
+		EdgesOffered:     w.edgesOffered.Value(),
+		Admissions:       w.admissions.Value(),
+		SnapshotsSent:    w.snapshotsSent.Value(),
+		FeaturesSent:     w.featuresSent.Value(),
+		SubDeltasSent:    w.subDeltasSent.Value(),
+		SubDeltasApplied: w.subDeltasApplied.Value(),
+		Expired:          w.expired.Value(),
+	}
+	if w.sampling != nil {
+		s.SamplingDepth = w.sampling.Depth()
+		s.Panics += w.sampling.Panics.Value()
+	}
+	if w.publish != nil {
+		s.PublishDepth = w.publish.Depth()
+		s.Panics += w.publish.Panics.Value()
+	}
+	return s
+}
+
+// Lag reports the unconsumed backlog of the worker's update partition
+// (records appended minus records polled) — used by the separation
+// experiment (Fig. 12) and ingestion-latency microbenchmark (Fig. 17).
+func (w *Worker) Lag() int64 {
+	return w.updatesTopic.NextOffset(w.cfg.ID) - w.updOffset.Load()
+}
+
+// SubsLag reports the unconsumed backlog of the worker's subscription
+// partition.
+func (w *Worker) SubsLag() int64 {
+	return w.subsTopic.NextOffset(w.cfg.ID) - w.subsOffset.Load()
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.cfg.ID }

@@ -1,0 +1,95 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"helios/internal/graph"
+)
+
+// Ad-hoc sampling over a complete neighbour list. These are the reference
+// semantics a graph database implements at query time (§3): the reservoir
+// implementations must match their distributions, and the graphdb baseline
+// executes them directly (paying the full neighbour scan the paper's
+// Fig. 4(c) measures).
+
+// AdhocEdge is one entry of a materialized adjacency list.
+type AdhocEdge struct {
+	Neighbor graph.VertexID
+	Ts       graph.Timestamp
+	Weight   float32
+}
+
+// AdhocSample draws k samples from neighbours under the strategy, visiting
+// every neighbour (the data-dependent cost the paper attributes to long tail
+// latency). The input slice is not modified.
+func AdhocSample(strategy Strategy, neighbors []AdhocEdge, k int, rng *rand.Rand) []AdhocEdge {
+	switch strategy {
+	case Random:
+		return adhocRandom(neighbors, k, rng)
+	case TopK:
+		return adhocTopK(neighbors, k)
+	case EdgeWeight:
+		return adhocWeighted(neighbors, k, rng)
+	default:
+		return nil
+	}
+}
+
+func adhocRandom(neighbors []AdhocEdge, k int, rng *rand.Rand) []AdhocEdge {
+	if len(neighbors) <= k {
+		return append([]AdhocEdge(nil), neighbors...)
+	}
+	// Partial Fisher–Yates over an index permutation.
+	idx := make([]int, len(neighbors))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]AdhocEdge, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, neighbors[idx[i]])
+	}
+	return out
+}
+
+func adhocTopK(neighbors []AdhocEdge, k int) []AdhocEdge {
+	out := append([]AdhocEdge(nil), neighbors...)
+	// Full sort: this is what a timestamp-ordered TopK over an unsorted
+	// adjacency list costs, and exactly why supernodes create tails.
+	sort.Slice(out, func(i, j int) bool { return out[i].Ts > out[j].Ts })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func adhocWeighted(neighbors []AdhocEdge, k int, rng *rand.Rand) []AdhocEdge {
+	type keyed struct {
+		e   AdhocEdge
+		key float64
+	}
+	ks := make([]keyed, 0, len(neighbors))
+	for _, e := range neighbors {
+		w := float64(e.Weight)
+		if w <= 0 || math.IsNaN(w) {
+			continue
+		}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		ks = append(ks, keyed{e: e, key: math.Pow(u, 1/w)})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key > ks[j].key })
+	if len(ks) > k {
+		ks = ks[:k]
+	}
+	out := make([]AdhocEdge, len(ks))
+	for i, x := range ks {
+		out[i] = x.e
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package sampling implements the event-driven reservoir sampling of Helios
+// §5.2. A reservoir holds the current one-hop sample set of one (query,
+// vertex) pair; every relevant edge update is *offered* to the reservoir,
+// which decides in O(fan-out) whether the new neighbour is admitted and
+// which previous sample it evicts. The resulting sample distribution is
+// identical to executing the ad-hoc sampling strategy over the full
+// neighbour list (Vitter's Algorithm R for Random, exact top-K by timestamp
+// for TopK, Efraimidis–Spirakis A-Res for EdgeWeight) — the property tests
+// verify this equivalence.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"helios/internal/graph"
+)
+
+// Strategy selects the sampling algorithm of a one-hop query.
+type Strategy uint8
+
+const (
+	// Random samples neighbours uniformly (Algorithm R).
+	Random Strategy = iota
+	// TopK keeps the K neighbours with the largest edge timestamps.
+	TopK
+	// EdgeWeight samples neighbours with probability proportional to edge
+	// weight, without replacement (A-Res keys).
+	EdgeWeight
+)
+
+// ParseStrategy resolves the query-DSL strategy names of Fig. 1.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "Random", "random":
+		return Random, nil
+	case "TopK", "topk", "topK":
+		return TopK, nil
+	case "EdgeWeight", "edgeweight", "edgeWeight":
+		return EdgeWeight, nil
+	default:
+		return 0, fmt.Errorf("sampling: unknown strategy %q", name)
+	}
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "Random"
+	case TopK:
+		return "TopK"
+	case EdgeWeight:
+		return "EdgeWeight"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Sample is one sampled neighbour: the target vertex of the admitted edge
+// plus the edge attributes the strategies order by.
+type Sample struct {
+	Neighbor graph.VertexID
+	Ts       graph.Timestamp
+	Weight   float32
+	// key is the A-Res priority for EdgeWeight reservoirs.
+	key float64
+}
+
+// Admission reports the outcome of offering one edge to a reservoir.
+type Admission struct {
+	// Added is true when the offered neighbour entered the reservoir.
+	Added bool
+	// Evicted holds the displaced sample when Added is true and the
+	// reservoir was full; HasEvicted distinguishes a replacement from a
+	// plain append.
+	Evicted    Sample
+	HasEvicted bool
+}
+
+// Reservoir is the value cell of a reservoir table (§4.2): up to Cap
+// sampled neighbours for one key vertex, maintained incrementally. A
+// Reservoir is not safe for concurrent use; the sampling worker shards
+// reservoirs over its sampling actors (one owner per vertex).
+type Reservoir struct {
+	strategy Strategy
+	cap      int
+	seen     uint64 // total edges offered (drives Algorithm R)
+	items    []Sample
+}
+
+// NewReservoir returns an empty reservoir with the given strategy and
+// capacity (the query fan-out). Capacity must be ≥ 1.
+func NewReservoir(s Strategy, capacity int) *Reservoir {
+	if capacity < 1 {
+		panic("sampling: reservoir capacity must be ≥ 1")
+	}
+	return &Reservoir{strategy: s, cap: capacity, items: make([]Sample, 0, capacity)}
+}
+
+// Strategy returns the reservoir's sampling strategy.
+func (r *Reservoir) Strategy() Strategy { return r.strategy }
+
+// Cap returns the reservoir capacity (query fan-out).
+func (r *Reservoir) Cap() int { return r.cap }
+
+// Len returns the current number of samples.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Seen returns the number of edges offered so far.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Items returns the live sample slice. Callers must not mutate it and must
+// not retain it across Offer calls; use Snapshot for a stable copy.
+func (r *Reservoir) Items() []Sample { return r.items }
+
+// Snapshot returns a copy of the current samples.
+func (r *Reservoir) Snapshot() []Sample {
+	out := make([]Sample, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Offer presents the edge (→ neighbour n with timestamp ts, weight w) to the
+// reservoir and returns the admission outcome. rng drives the randomized
+// strategies; pass the owning actor's private source.
+func (r *Reservoir) Offer(n graph.VertexID, ts graph.Timestamp, w float32, rng *rand.Rand) Admission {
+	r.seen++
+	s := Sample{Neighbor: n, Ts: ts, Weight: w}
+	switch r.strategy {
+	case Random:
+		return r.offerRandom(s, rng)
+	case TopK:
+		return r.offerTopK(s)
+	case EdgeWeight:
+		return r.offerWeighted(s, rng)
+	default:
+		panic(fmt.Sprintf("sampling: unknown strategy %d", r.strategy))
+	}
+}
+
+// offerRandom implements Vitter's Algorithm R: the i-th offered edge is
+// admitted with probability cap/i, displacing a uniformly random slot. This
+// is exactly the "generate p in [1, x]; replace the p-th item if p ≤ C" rule
+// of §5.2.
+func (r *Reservoir) offerRandom(s Sample, rng *rand.Rand) Admission {
+	if len(r.items) < r.cap {
+		r.items = append(r.items, s)
+		return Admission{Added: true}
+	}
+	p := rng.Int63n(int64(r.seen)) // p in [0, seen)
+	if p >= int64(r.cap) {
+		return Admission{}
+	}
+	old := r.items[p]
+	r.items[p] = s
+	return Admission{Added: true, Evicted: old, HasEvicted: true}
+}
+
+// offerTopK keeps the cap samples with the largest timestamps, displacing
+// the oldest when a newer edge arrives. Ties keep the incumbent so a stream
+// of identical timestamps does not thrash the subscription cascade.
+func (r *Reservoir) offerTopK(s Sample) Admission {
+	if len(r.items) < r.cap {
+		r.items = append(r.items, s)
+		return Admission{Added: true}
+	}
+	oldest := 0
+	for i := 1; i < len(r.items); i++ {
+		if r.items[i].Ts < r.items[oldest].Ts {
+			oldest = i
+		}
+	}
+	if s.Ts <= r.items[oldest].Ts {
+		return Admission{}
+	}
+	old := r.items[oldest]
+	r.items[oldest] = s
+	return Admission{Added: true, Evicted: old, HasEvicted: true}
+}
+
+// offerWeighted implements the Efraimidis–Spirakis A-Res scheme: each edge
+// draws key = u^(1/w) (u uniform in (0,1)) and the reservoir keeps the cap
+// largest keys, which yields weight-proportional sampling without
+// replacement over the whole stream.
+func (r *Reservoir) offerWeighted(s Sample, rng *rand.Rand) Admission {
+	w := float64(s.Weight)
+	if w <= 0 || math.IsNaN(w) {
+		return Admission{} // zero-weight edges are never sampled
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	s.key = math.Pow(u, 1/w)
+	if len(r.items) < r.cap {
+		r.items = append(r.items, s)
+		return Admission{Added: true}
+	}
+	minIdx := 0
+	for i := 1; i < len(r.items); i++ {
+		if r.items[i].key < r.items[minIdx].key {
+			minIdx = i
+		}
+	}
+	if s.key <= r.items[minIdx].key {
+		return Admission{}
+	}
+	old := r.items[minIdx]
+	r.items[minIdx] = s
+	return Admission{Added: true, Evicted: old, HasEvicted: true}
+}
+
+// Reset empties the reservoir, retaining strategy and capacity.
+func (r *Reservoir) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+}
+
+// Restore replaces the reservoir contents from a checkpoint: the samples
+// and the offered-edge count.
+func (r *Reservoir) Restore(items []Sample, seen uint64) {
+	r.items = append(r.items[:0], items...)
+	if len(r.items) > r.cap {
+		r.items = r.items[:r.cap]
+	}
+	r.seen = seen
+}

@@ -1,0 +1,373 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"helios/internal/graph"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"Random": Random, "random": Random,
+		"TopK": TopK, "topk": TopK, "topK": TopK,
+		"EdgeWeight": EdgeWeight, "edgeweight": EdgeWeight,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("Bogus"); err == nil {
+		t.Fatal("bogus strategy should fail")
+	}
+	if Random.String() != "Random" || TopK.String() != "TopK" || EdgeWeight.String() != "EdgeWeight" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Fatal("unknown strategy should be explicit")
+	}
+}
+
+func TestReservoirBasics(t *testing.T) {
+	r := NewReservoir(Random, 3)
+	rng := rand.New(rand.NewSource(1))
+	if r.Cap() != 3 || r.Len() != 0 || r.Strategy() != Random {
+		t.Fatal("fresh reservoir wrong")
+	}
+	for i := 0; i < 3; i++ {
+		adm := r.Offer(graph.VertexID(i), graph.Timestamp(i), 1, rng)
+		if !adm.Added || adm.HasEvicted {
+			t.Fatalf("fill offer %d: %+v", i, adm)
+		}
+	}
+	if r.Len() != 3 || r.Seen() != 3 {
+		t.Fatalf("len=%d seen=%d", r.Len(), r.Seen())
+	}
+	snap := r.Snapshot()
+	snap[0].Neighbor = 999
+	if r.Items()[0].Neighbor == 999 {
+		t.Fatal("snapshot must be a copy")
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNewReservoirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity should panic")
+		}
+	}()
+	NewReservoir(Random, 0)
+}
+
+func TestRandomReservoirUniform(t *testing.T) {
+	// Offer N=100 distinct neighbours into a cap-10 reservoir, many trials;
+	// every neighbour's inclusion frequency must approximate 10/100.
+	const n, k, trials = 100, 10, 3000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(Random, k)
+		for i := 0; i < n; i++ {
+			r.Offer(graph.VertexID(i), 0, 1, rng)
+		}
+		if r.Len() != k {
+			t.Fatalf("reservoir should be full: %d", r.Len())
+		}
+		for _, s := range r.Items() {
+			counts[s.Neighbor]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("neighbour %d sampled %d times, want ≈ %.0f", i, c, want)
+		}
+	}
+}
+
+func TestRandomReservoirMatchesAdhocDistribution(t *testing.T) {
+	// First and last stream positions must have equal inclusion probability
+	// (the classic reservoir property ad-hoc sampling trivially has).
+	const n, k, trials = 50, 5, 4000
+	rng := rand.New(rand.NewSource(3))
+	var firstRes, lastRes, firstAdhoc, lastAdhoc int
+	neighbors := make([]AdhocEdge, n)
+	for i := range neighbors {
+		neighbors[i] = AdhocEdge{Neighbor: graph.VertexID(i), Weight: 1}
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(Random, k)
+		for i := 0; i < n; i++ {
+			r.Offer(graph.VertexID(i), 0, 1, rng)
+		}
+		for _, s := range r.Items() {
+			if s.Neighbor == 0 {
+				firstRes++
+			}
+			if s.Neighbor == n-1 {
+				lastRes++
+			}
+		}
+		for _, s := range AdhocSample(Random, neighbors, k, rng) {
+			if s.Neighbor == 0 {
+				firstAdhoc++
+			}
+			if s.Neighbor == n-1 {
+				lastAdhoc++
+			}
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for name, c := range map[string]int{
+		"res-first": firstRes, "res-last": lastRes,
+		"adhoc-first": firstAdhoc, "adhoc-last": lastAdhoc,
+	} {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("%s = %d, want ≈ %.0f", name, c, want)
+		}
+	}
+}
+
+func TestTopKExact(t *testing.T) {
+	// TopK reservoir must hold exactly the K latest timestamps, in any
+	// arrival order.
+	rng := rand.New(rand.NewSource(5))
+	perm := rng.Perm(200)
+	r := NewReservoir(TopK, 8)
+	for _, ts := range perm {
+		r.Offer(graph.VertexID(ts), graph.Timestamp(ts), 1, rng)
+	}
+	got := make([]int, 0, 8)
+	for _, s := range r.Items() {
+		got = append(got, int(s.Ts))
+	}
+	sort.Ints(got)
+	for i, ts := range got {
+		if want := 192 + i; ts != want {
+			t.Fatalf("TopK item %d = ts %d, want %d (items %v)", i, ts, want, got)
+		}
+	}
+}
+
+func TestTopKMatchesAdhoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var neighbors []AdhocEdge
+	r := NewReservoir(TopK, 5)
+	for i := 0; i < 300; i++ {
+		ts := graph.Timestamp(rng.Int63n(1 << 40))
+		neighbors = append(neighbors, AdhocEdge{Neighbor: graph.VertexID(i), Ts: ts})
+		r.Offer(graph.VertexID(i), ts, 1, rng)
+	}
+	adhoc := AdhocSample(TopK, neighbors, 5, rng)
+	resTs := make([]int64, 0, 5)
+	for _, s := range r.Items() {
+		resTs = append(resTs, int64(s.Ts))
+	}
+	adhocTs := make([]int64, 0, 5)
+	for _, s := range adhoc {
+		adhocTs = append(adhocTs, int64(s.Ts))
+	}
+	sort.Slice(resTs, func(i, j int) bool { return resTs[i] < resTs[j] })
+	sort.Slice(adhocTs, func(i, j int) bool { return adhocTs[i] < adhocTs[j] })
+	for i := range resTs {
+		if resTs[i] != adhocTs[i] {
+			t.Fatalf("TopK mismatch: reservoir %v vs adhoc %v", resTs, adhocTs)
+		}
+	}
+}
+
+func TestTopKTieKeepsIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(TopK, 1)
+	r.Offer(1, 100, 1, rng)
+	adm := r.Offer(2, 100, 1, rng)
+	if adm.Added {
+		t.Fatal("equal timestamp should not displace incumbent")
+	}
+	if r.Items()[0].Neighbor != 1 {
+		t.Fatal("incumbent lost on tie")
+	}
+}
+
+func TestEdgeWeightBias(t *testing.T) {
+	// Two neighbours, weight 9 vs 1, cap 1: the heavy one must be selected
+	// ~90% of trials, matching the ad-hoc weighted sampler.
+	const trials = 5000
+	rng := rand.New(rand.NewSource(13))
+	heavyRes, heavyAdhoc := 0, 0
+	neighbors := []AdhocEdge{{Neighbor: 1, Weight: 9}, {Neighbor: 2, Weight: 1}}
+	for i := 0; i < trials; i++ {
+		r := NewReservoir(EdgeWeight, 1)
+		r.Offer(1, 0, 9, rng)
+		r.Offer(2, 0, 1, rng)
+		if r.Items()[0].Neighbor == 1 {
+			heavyRes++
+		}
+		if AdhocSample(EdgeWeight, neighbors, 1, rng)[0].Neighbor == 1 {
+			heavyAdhoc++
+		}
+	}
+	for name, c := range map[string]int{"reservoir": heavyRes, "adhoc": heavyAdhoc} {
+		p := float64(c) / trials
+		if p < 0.87 || p > 0.93 {
+			t.Fatalf("%s heavy fraction = %.3f, want ≈ 0.90", name, p)
+		}
+	}
+}
+
+func TestEdgeWeightZeroWeightSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(EdgeWeight, 2)
+	if adm := r.Offer(1, 0, 0, rng); adm.Added {
+		t.Fatal("zero weight must never be sampled")
+	}
+	if adm := r.Offer(2, 0, -1, rng); adm.Added {
+		t.Fatal("negative weight must never be sampled")
+	}
+	if adm := r.Offer(3, 0, float32(math.NaN()), rng); adm.Added {
+		t.Fatal("NaN weight must never be sampled")
+	}
+	if r.Len() != 0 {
+		t.Fatal("reservoir should stay empty")
+	}
+}
+
+func TestAdmissionEvictionReporting(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewReservoir(TopK, 2)
+	r.Offer(1, 10, 1, rng)
+	r.Offer(2, 20, 1, rng)
+	adm := r.Offer(3, 30, 1, rng)
+	if !adm.Added || !adm.HasEvicted || adm.Evicted.Neighbor != 1 {
+		t.Fatalf("expected eviction of oldest (1): %+v", adm)
+	}
+	adm = r.Offer(4, 5, 1, rng)
+	if adm.Added || adm.HasEvicted {
+		t.Fatalf("stale edge should be rejected: %+v", adm)
+	}
+}
+
+func TestReservoirInvariantsProperty(t *testing.T) {
+	// Under any stream, the reservoir never exceeds capacity and every
+	// admission with a full reservoir reports an eviction.
+	f := func(seed int64, capRaw uint8, stream []uint32) bool {
+		capacity := int(capRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		for _, strat := range []Strategy{Random, TopK, EdgeWeight} {
+			r := NewReservoir(strat, capacity)
+			for i, x := range stream {
+				before := r.Len()
+				adm := r.Offer(graph.VertexID(x), graph.Timestamp(x), float32(x%7)+1, rng)
+				if r.Len() > capacity {
+					return false
+				}
+				if adm.Added && before == capacity && !adm.HasEvicted {
+					return false
+				}
+				if adm.Added && before < capacity && adm.HasEvicted {
+					return false
+				}
+				if r.Seen() != uint64(i+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestore(t *testing.T) {
+	r := NewReservoir(Random, 2)
+	r.Restore([]Sample{{Neighbor: 1}, {Neighbor: 2}, {Neighbor: 3}}, 10)
+	if r.Len() != 2 || r.Seen() != 10 {
+		t.Fatalf("restore should clamp to capacity: len=%d seen=%d", r.Len(), r.Seen())
+	}
+}
+
+func TestAdhocSampleSmallInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	neighbors := []AdhocEdge{{Neighbor: 1, Weight: 1}, {Neighbor: 2, Weight: 1}}
+	for _, s := range []Strategy{Random, TopK, EdgeWeight} {
+		out := AdhocSample(s, neighbors, 10, rng)
+		if len(out) != 2 {
+			t.Fatalf("%v: want all neighbours when k > n, got %d", s, len(out))
+		}
+	}
+	if out := AdhocSample(Strategy(99), neighbors, 1, rng); out != nil {
+		t.Fatal("unknown strategy should return nil")
+	}
+	if out := AdhocSample(Random, nil, 3, rng); len(out) != 0 {
+		t.Fatal("empty adjacency should sample nothing")
+	}
+}
+
+func TestAdhocRandomIsUniform(t *testing.T) {
+	const n, k, trials = 20, 4, 4000
+	rng := rand.New(rand.NewSource(17))
+	neighbors := make([]AdhocEdge, n)
+	for i := range neighbors {
+		neighbors[i] = AdhocEdge{Neighbor: graph.VertexID(i), Weight: 1}
+	}
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		out := AdhocSample(Random, neighbors, k, rng)
+		if len(out) != k {
+			t.Fatalf("got %d samples", len(out))
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, s := range out {
+			if seen[s.Neighbor] {
+				t.Fatal("duplicate in without-replacement sample")
+			}
+			seen[s.Neighbor] = true
+			counts[s.Neighbor]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("neighbour %d: %d, want ≈ %.0f", i, c, want)
+		}
+	}
+}
+
+func BenchmarkReservoirOfferRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(Random, 25)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Offer(graph.VertexID(i), graph.Timestamp(i), 1, rng)
+	}
+}
+
+func BenchmarkReservoirOfferTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(TopK, 25)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Offer(graph.VertexID(i), graph.Timestamp(i), 1, rng)
+	}
+}
+
+func BenchmarkAdhocTopK1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	neighbors := make([]AdhocEdge, 1000)
+	for i := range neighbors {
+		neighbors[i] = AdhocEdge{Neighbor: graph.VertexID(i), Ts: graph.Timestamp(rng.Int63())}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AdhocSample(TopK, neighbors, 25, rng)
+	}
+}

@@ -1,0 +1,155 @@
+package serving
+
+import (
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/rpc"
+)
+
+// RPC surface of a serving worker, used by the frontend in multi-process
+// deployments. Requests run through the serving pool, so the §4.3 serving
+// threads govern concurrency exactly as for in-process callers.
+
+// MethodSample is the RPC method name for sampling queries.
+const MethodSample = "helios.sample"
+
+// AppendResult encodes a Result.
+func AppendResult(w *codec.Writer, res *Result) {
+	w.Uvarint(uint64(len(res.Layers)))
+	for _, layer := range res.Layers {
+		w.Uvarint(uint64(len(layer)))
+		for _, v := range layer {
+			w.Uvarint(uint64(v))
+		}
+	}
+	w.Uvarint(uint64(len(res.Edges)))
+	for _, e := range res.Edges {
+		w.Uvarint(uint64(e.Hop))
+		w.Uvarint(uint64(e.Parent))
+		w.Uvarint(uint64(e.Child))
+		w.Varint(int64(e.Ts))
+		w.Float32(e.Weight)
+	}
+	w.Uvarint(uint64(len(res.Features)))
+	for v, f := range res.Features {
+		w.Uvarint(uint64(v))
+		w.Float32s(f)
+	}
+	w.Uvarint(uint64(res.SampleMisses))
+	w.Uvarint(uint64(res.FeatureMisses))
+	w.Uvarint(uint64(res.Lookups))
+}
+
+// DecodeResult parses a Result.
+func DecodeResult(r *codec.Reader) (*Result, error) {
+	res := &Result{Features: make(map[graph.VertexID][]float32)}
+	nl := int(r.Uvarint())
+	if r.Err() != nil || nl > r.Remaining() {
+		return nil, errOr(r, codec.ErrShortBuffer)
+	}
+	for i := 0; i < nl; i++ {
+		n := int(r.Uvarint())
+		if r.Err() != nil || n > r.Remaining() {
+			return nil, errOr(r, codec.ErrShortBuffer)
+		}
+		layer := make([]graph.VertexID, n)
+		for j := range layer {
+			layer[j] = graph.VertexID(r.Uvarint())
+		}
+		res.Layers = append(res.Layers, layer)
+	}
+	ne := int(r.Uvarint())
+	if r.Err() != nil || ne > r.Remaining() {
+		return nil, errOr(r, codec.ErrShortBuffer)
+	}
+	for i := 0; i < ne; i++ {
+		res.Edges = append(res.Edges, SampledEdge{
+			Hop:    int(r.Uvarint()),
+			Parent: graph.VertexID(r.Uvarint()),
+			Child:  graph.VertexID(r.Uvarint()),
+			Ts:     graph.Timestamp(r.Varint()),
+			Weight: r.Float32(),
+		})
+	}
+	nf := int(r.Uvarint())
+	if r.Err() != nil || nf > r.Remaining() {
+		return nil, errOr(r, codec.ErrShortBuffer)
+	}
+	for i := 0; i < nf; i++ {
+		v := graph.VertexID(r.Uvarint())
+		res.Features[v] = r.Float32s()
+	}
+	res.SampleMisses = int(r.Uvarint())
+	res.FeatureMisses = int(r.Uvarint())
+	res.Lookups = int(r.Uvarint())
+	return res, r.Err()
+}
+
+func errOr(r *codec.Reader, fallback error) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return fallback
+}
+
+// ServeRPC registers the worker's sampling method on srv.
+func ServeRPC(w *Worker, srv *rpc.Server) {
+	srv.Handle(MethodSample, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		qid := query.ID(r.Uvarint())
+		seed := graph.VertexID(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		resp := make(chan Response, 1)
+		w.Submit(Request{Query: qid, Seed: seed, Resp: resp})
+		out := <-resp
+		if out.Err != nil {
+			return nil, out.Err
+		}
+		cw := codec.NewWriter(1024)
+		AppendResult(cw, out.Result)
+		return cw.Bytes(), nil
+	})
+}
+
+// Client calls a remote serving worker.
+type Client struct {
+	c       *rpc.Client
+	timeout time.Duration
+}
+
+// DialServing connects to a serving worker's RPC endpoint.
+func DialServing(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, timeout: timeout}, nil
+}
+
+// Sample executes a sampling query on the remote worker.
+func (c *Client) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
+	w := codec.NewWriter(20)
+	w.Uvarint(uint64(qid))
+	w.Uvarint(uint64(seed))
+	resp, err := c.c.Call(MethodSample, w.Bytes(), c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	r := codec.NewReader(resp)
+	res, err := DecodeResult(r)
+	if err != nil {
+		return nil, err
+	}
+	return res, r.Finish()
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,497 @@
+// Package serving implements the Helios serving worker (§4.3, §6): it owns
+// one partition of the inference seed space, maintains a query-aware sample
+// cache — a sample table per one-hop query plus a feature table, both on the
+// kvstore's hybrid memory/disk mode — and answers K-hop sampling queries
+// with a fixed number of local lookups and zero network communication.
+//
+// Worker anatomy (Fig. 6): polling loops fetch cache messages from this
+// worker's sample queue; a data-updating pool applies them to the cache; a
+// serving pool executes sampling queries from the frontend.
+package serving
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/actor"
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/kvstore"
+	"helios/internal/metrics"
+	"helios/internal/mq"
+	"helios/internal/query"
+	"helios/internal/wire"
+)
+
+// Config assembles a serving worker.
+type Config struct {
+	// ID is this worker's index in [0, NumServers); it owns partition ID of
+	// the samples topic and the seeds hashing to it.
+	ID int
+	// NumServers (N) sizes the serving partitioning.
+	NumServers int
+	// Plans are the registered query plans.
+	Plans []*query.Plan
+	// Broker carries the sample queues (local broker or RPC client).
+	Broker mq.Bus
+	// Namespace prefixes topic names.
+	Namespace string
+	// Store configures the cache kvstore (empty Dir = memory only).
+	Store kvstore.Options
+	// Thread-pool sizes. Zero values default to 1 poll, 2 update, 8 serve.
+	PollThreads, UpdateThreads, ServeThreads int
+	// MailboxDepth bounds actor queues; 0 defaults to 1024.
+	MailboxDepth int
+	// TTL expires cache entries untouched for this long; 0 disables.
+	TTL time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.NumServers < 1 || c.ID < 0 || c.ID >= c.NumServers {
+		return fmt.Errorf("serving: bad worker ID %d of %d", c.ID, c.NumServers)
+	}
+	if c.Broker == nil {
+		return fmt.Errorf("serving: broker is required")
+	}
+	if c.PollThreads <= 0 {
+		c.PollThreads = 1
+	}
+	if c.UpdateThreads <= 0 {
+		c.UpdateThreads = 2
+	}
+	if c.ServeThreads <= 0 {
+		c.ServeThreads = 8
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 1024
+	}
+	return nil
+}
+
+// Request is one sampling query submitted to the serving pool.
+type Request struct {
+	Query query.ID
+	Seed  graph.VertexID
+	Resp  chan<- Response
+}
+
+// Response carries the assembled result.
+type Response struct {
+	Result  *Result
+	Err     error
+	Latency time.Duration
+}
+
+// Result is a complete K-hop sampling result assembled from the cache.
+type Result struct {
+	// Layers[0] is the seed; Layers[k] holds the vertices sampled at hop k
+	// (with multiplicity, in parent-major order).
+	Layers [][]graph.VertexID
+	// Edges lists the sampled parent→child relations per hop.
+	Edges []SampledEdge
+	// Features holds the cached feature of every distinct vertex in
+	// Layers that had one.
+	Features map[graph.VertexID][]float32
+	// SampleMisses / FeatureMisses count cache lookups that found nothing —
+	// nonzero while a subtree is still materializing (eventual
+	// consistency) or for vertices with no activity.
+	SampleMisses, FeatureMisses int
+	// Lookups counts sample-table lookups performed (bounded by
+	// Query.MaxLookups).
+	Lookups int
+}
+
+// SampledEdge is one sampled relation.
+type SampledEdge struct {
+	Hop           int
+	Parent, Child graph.VertexID
+	Ts            graph.Timestamp
+	Weight        float32
+}
+
+// Stats reports serving-side counters.
+type Stats struct {
+	Applied        int64
+	Served         int64
+	SampleMisses   int64
+	FeatureMisses  int64
+	CacheBytes     int64
+	QueryLatency   metrics.Snapshot
+	IngestLatency  metrics.Snapshot
+	UpdateDepth    int
+	ServeDepth     int
+	ExpiredEntries int64
+	// Panics counts recovered handler panics (should be zero).
+	Panics int64
+}
+
+// Worker is one serving worker.
+type Worker struct {
+	cfg   Config
+	plans map[query.ID]*query.Plan
+	db    *kvstore.DB
+
+	samplesTopic mq.TopicHandle
+	consumed     atomic.Int64
+	pollers      *actor.Loop
+	updatePool   *actor.Pool[wire.Message]
+	servePool    *actor.Pool[Request]
+	sweeper      *actor.Loop
+	started      bool
+
+	applied       metrics.Counter
+	served        metrics.Counter
+	sampleMisses  metrics.Counter
+	featureMisses metrics.Counter
+	expired       metrics.Counter
+	queryLat      metrics.Histogram
+	ingestLat     metrics.Histogram
+}
+
+// New assembles a worker; call Start to begin consuming cache updates.
+func New(cfg Config) (*Worker, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	db, err := kvstore.Open(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{cfg: cfg, db: db, plans: make(map[query.ID]*query.Plan)}
+	for _, p := range cfg.Plans {
+		w.plans[p.QueryID] = p
+	}
+	if w.samplesTopic, err = cfg.Broker.OpenTopic(cfg.Namespace+wire.TopicSamples, cfg.NumServers); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Start launches the pools and polling loop.
+func (w *Worker) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.updatePool = actor.NewPool("cache-update", w.cfg.UpdateThreads, w.cfg.MailboxDepth, w.applyMessage)
+	w.servePool = actor.NewPool("serve", w.cfg.ServeThreads, w.cfg.MailboxDepth, w.handleRequest)
+	cons := w.samplesTopic.OpenConsumer(w.cfg.ID, 0)
+	w.pollers = actor.NewLoop(1, func(int) bool { return w.poll(cons) })
+	if w.cfg.TTL > 0 {
+		w.sweeper = actor.NewLoop(1, func(int) bool {
+			time.Sleep(w.cfg.TTL / 4)
+			w.sweep(time.Now().Add(-w.cfg.TTL).UnixNano())
+			return true
+		})
+	}
+}
+
+// Stop halts polling, drains the update and serve pools, and closes the
+// cache store.
+func (w *Worker) Stop() {
+	if !w.started {
+		return
+	}
+	w.started = false
+	w.pollers.Stop()
+	if w.sweeper != nil {
+		w.sweeper.Stop()
+	}
+	w.updatePool.Close()
+	w.servePool.Close()
+	w.db.Close()
+}
+
+const pollBatch = 512
+
+func (w *Worker) poll(c mq.Cursor) bool {
+	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
+	if err != nil {
+		return false
+	}
+	for _, rec := range recs {
+		m, err := wire.Decode(rec.Value)
+		if err != nil {
+			continue
+		}
+		w.updatePool.Send(uint64(m.Vertex), m)
+	}
+	w.consumed.Store(c.Offset())
+	return true
+}
+
+// Cache key layout: prefix byte, then big-endian fixed-width components so
+// keys of one table sort together.
+const (
+	prefixSample  = 's'
+	prefixFeature = 'f'
+)
+
+func sampleKey(hop query.HopID, v graph.VertexID) []byte {
+	k := make([]byte, 13)
+	k[0] = prefixSample
+	binary.BigEndian.PutUint32(k[1:], uint32(hop))
+	binary.BigEndian.PutUint64(k[5:], uint64(v))
+	return k
+}
+
+func featureKey(v graph.VertexID) []byte {
+	k := make([]byte, 9)
+	k[0] = prefixFeature
+	binary.BigEndian.PutUint64(k[1:], uint64(v))
+	return k
+}
+
+// Cache values carry a touch timestamp header for TTL sweeps.
+func encodeSamples(samples []wire.SampleRef, touch int64) []byte {
+	cw := codec.NewWriter(16 + 16*len(samples))
+	cw.Varint(touch)
+	cw.Uvarint(uint64(len(samples)))
+	for _, s := range samples {
+		cw.Uvarint(uint64(s.Neighbor))
+		cw.Varint(int64(s.Ts))
+		cw.Float32(s.Weight)
+	}
+	return cw.Bytes()
+}
+
+func decodeSamples(buf []byte) (samples []wire.SampleRef, touch int64, err error) {
+	r := codec.NewReader(buf)
+	touch = r.Varint()
+	n := int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, 0, r.Err()
+	}
+	if n > r.Remaining() {
+		return nil, 0, codec.ErrShortBuffer
+	}
+	samples = make([]wire.SampleRef, n)
+	for i := range samples {
+		samples[i].Neighbor = graph.VertexID(r.Uvarint())
+		samples[i].Ts = graph.Timestamp(r.Varint())
+		samples[i].Weight = r.Float32()
+	}
+	return samples, touch, r.Err()
+}
+
+func encodeFeature(feat []float32, touch int64) []byte {
+	cw := codec.NewWriter(16 + 4*len(feat))
+	cw.Varint(touch)
+	cw.Float32s(feat)
+	return cw.Bytes()
+}
+
+func decodeFeature(buf []byte) (feat []float32, touch int64, err error) {
+	r := codec.NewReader(buf)
+	touch = r.Varint()
+	feat = r.Float32s()
+	return feat, touch, r.Err()
+}
+
+// applyMessage is the data-updating pool handler.
+func (w *Worker) applyMessage(_ int, m wire.Message) {
+	now := time.Now().UnixNano()
+	switch m.Kind {
+	case wire.KindSampleUpsert:
+		if err := w.db.Put(sampleKey(m.Hop, m.Vertex), encodeSamples(m.Samples, now)); err != nil {
+			return
+		}
+	case wire.KindSampleEvict:
+		if err := w.db.Delete(sampleKey(m.Hop, m.Vertex)); err != nil {
+			return
+		}
+	case wire.KindFeatureUpdate:
+		if err := w.db.Put(featureKey(m.Vertex), encodeFeature(m.Feature, now)); err != nil {
+			return
+		}
+	case wire.KindFeatureEvict:
+		if err := w.db.Delete(featureKey(m.Vertex)); err != nil {
+			return
+		}
+	default:
+		return
+	}
+	w.applied.Inc()
+	if m.Ingested > 0 {
+		w.ingestLat.Record(now - m.Ingested)
+	}
+}
+
+// Submit enqueues a request on the serving pool; the response arrives on
+// req.Resp. Requests for one seed serialize on one serving actor.
+func (w *Worker) Submit(req Request) {
+	w.servePool.Send(uint64(req.Seed), req)
+}
+
+func (w *Worker) handleRequest(_ int, req Request) {
+	start := time.Now()
+	res, err := w.Sample(req.Query, req.Seed)
+	if req.Resp != nil {
+		req.Resp <- Response{Result: res, Err: err, Latency: time.Since(start)}
+	}
+}
+
+// Sample assembles the complete K-hop sampling result for seed from the
+// local cache (§6): Π C_i sample-table lookups and Π C_i feature lookups,
+// independent of the seed's actual degree — the property that removes the
+// long tail of Fig. 4.
+func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
+	plan, ok := w.plans[qid]
+	if !ok {
+		return nil, fmt.Errorf("serving: unknown query %d", qid)
+	}
+	start := time.Now()
+	res := &Result{
+		Layers:   make([][]graph.VertexID, 1, len(plan.OneHops)+1),
+		Features: make(map[graph.VertexID][]float32),
+	}
+	res.Layers[0] = []graph.VertexID{seed}
+	frontier := res.Layers[0]
+	for hopIdx := range plan.OneHops {
+		hid := plan.OneHops[hopIdx].ID
+		next := make([]graph.VertexID, 0, len(frontier)*plan.OneHops[hopIdx].Fanout)
+		for _, v := range frontier {
+			res.Lookups++
+			buf, ok, err := w.db.Get(sampleKey(hid, v))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				res.SampleMisses++
+				w.sampleMisses.Inc()
+				continue
+			}
+			samples, _, err := decodeSamples(buf)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range samples {
+				next = append(next, s.Neighbor)
+				res.Edges = append(res.Edges, SampledEdge{
+					Hop: hopIdx, Parent: v, Child: s.Neighbor, Ts: s.Ts, Weight: s.Weight,
+				})
+			}
+		}
+		res.Layers = append(res.Layers, next)
+		frontier = next
+	}
+	// Feature pass over every distinct vertex in the tree.
+	for _, layer := range res.Layers {
+		for _, v := range layer {
+			if _, done := res.Features[v]; done {
+				continue
+			}
+			buf, ok, err := w.db.Get(featureKey(v))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				res.FeatureMisses++
+				w.featureMisses.Inc()
+				continue
+			}
+			feat, _, err := decodeFeature(buf)
+			if err != nil {
+				return nil, err
+			}
+			res.Features[v] = feat
+		}
+	}
+	w.served.Inc()
+	w.queryLat.RecordSince(start)
+	return res, nil
+}
+
+// sweep deletes cache entries untouched since cutoff.
+func (w *Worker) sweep(cutoff int64) {
+	type doomed struct{ key []byte }
+	var dead []doomed
+	w.db.Range(func(k, v []byte) bool {
+		r := codec.NewReader(v)
+		touch := r.Varint()
+		if r.Err() == nil && touch < cutoff {
+			kk := make([]byte, len(k))
+			copy(kk, k)
+			dead = append(dead, doomed{key: kk})
+		}
+		return true
+	})
+	for _, d := range dead {
+		if w.db.Delete(d.key) == nil {
+			w.expired.Inc()
+		}
+	}
+}
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() Stats {
+	s := Stats{
+		Applied:        w.applied.Value(),
+		Served:         w.served.Value(),
+		SampleMisses:   w.sampleMisses.Value(),
+		FeatureMisses:  w.featureMisses.Value(),
+		CacheBytes:     w.db.ApproxBytes(),
+		QueryLatency:   w.queryLat.Snapshot(),
+		IngestLatency:  w.ingestLat.Snapshot(),
+		ExpiredEntries: w.expired.Value(),
+	}
+	if w.updatePool != nil {
+		s.UpdateDepth = w.updatePool.Depth()
+		s.Panics += w.updatePool.Panics.Value()
+	}
+	if w.servePool != nil {
+		s.ServeDepth = w.servePool.Depth()
+		s.Panics += w.servePool.Panics.Value()
+	}
+	return s
+}
+
+// ResetLatencies clears the latency histograms between experiment phases.
+func (w *Worker) ResetLatencies() {
+	w.queryLat.Reset()
+	w.ingestLat.Reset()
+}
+
+// CacheBytes reports the cache footprint (Fig. 16).
+func (w *Worker) CacheBytes() int64 { return w.db.ApproxBytes() }
+
+// CacheEntries counts live cache entries.
+func (w *Worker) CacheEntries() (int, error) { return w.db.Len() }
+
+// HasSample reports whether the cache holds a sample cell for (hop, v) —
+// introspection for tests and operations tooling.
+func (w *Worker) HasSample(hop query.HopID, v graph.VertexID) bool {
+	ok, _ := w.db.Has(sampleKey(hop, v))
+	return ok
+}
+
+// CachedSamples returns the cached reservoir snapshot for (hop, v), or nil.
+func (w *Worker) CachedSamples(hop query.HopID, v graph.VertexID) []wire.SampleRef {
+	buf, ok, err := w.db.Get(sampleKey(hop, v))
+	if err != nil || !ok {
+		return nil
+	}
+	samples, _, err := decodeSamples(buf)
+	if err != nil {
+		return nil
+	}
+	return samples
+}
+
+// HasFeature reports whether the cache holds a feature for v.
+func (w *Worker) HasFeature(v graph.VertexID) bool {
+	ok, _ := w.db.Has(featureKey(v))
+	return ok
+}
+
+// Lag reports the unconsumed backlog of this worker's sample queue
+// (records appended minus records polled).
+func (w *Worker) Lag() int64 {
+	return w.samplesTopic.NextOffset(w.cfg.ID) - w.consumed.Load()
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.cfg.ID }

@@ -1,0 +1,294 @@
+package serving
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"helios/internal/graph"
+	"helios/internal/mq"
+	"helios/internal/query"
+	"helios/internal/sampling"
+	"helios/internal/wire"
+)
+
+func testPlan(t *testing.T) *query.Plan {
+	t.Helper()
+	s := graph.NewSchema()
+	acct := s.AddVertexType("Account")
+	s.AddEdgeType("TransferTo", acct, acct)
+	q, err := query.NewBuilder(s, "Account").
+		Out("TransferTo", 2, sampling.TopK).
+		Out("TransferTo", 2, sampling.TopK).
+		Build("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := query.Decompose(0, q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func newTestWorker(t *testing.T, b *mq.Broker) *Worker {
+	t.Helper()
+	w, err := New(Config{
+		ID: 0, NumServers: 1,
+		Plans:  []*query.Plan{testPlan(t)},
+		Broker: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	for i, cfg := range []Config{
+		{ID: 0, NumServers: 0, Broker: b},
+		{ID: 3, NumServers: 2, Broker: b},
+		{ID: -1, NumServers: 2, Broker: b},
+		{ID: 0, NumServers: 1, Broker: nil},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d should fail", i)
+		}
+	}
+}
+
+func TestKeyEncodings(t *testing.T) {
+	k1 := sampleKey(query.MakeHopID(1, 0), 42)
+	k2 := sampleKey(query.MakeHopID(1, 1), 42)
+	k3 := sampleKey(query.MakeHopID(1, 0), 43)
+	if bytes.Equal(k1, k2) || bytes.Equal(k1, k3) {
+		t.Fatal("sample keys must be distinct per hop and vertex")
+	}
+	f1, f2 := featureKey(42), featureKey(43)
+	if bytes.Equal(f1, f2) || bytes.Equal(k1, f1) {
+		t.Fatal("feature keys must be distinct and disjoint from sample keys")
+	}
+}
+
+func TestSampleValueCodec(t *testing.T) {
+	in := []wire.SampleRef{{Neighbor: 5, Ts: -7, Weight: 2.5}, {Neighbor: 9, Ts: 3, Weight: 0}}
+	buf := encodeSamples(in, 12345)
+	out, touch, err := decodeSamples(buf)
+	if err != nil || touch != 12345 || !reflect.DeepEqual(in, out) {
+		t.Fatalf("%v %d %v", out, touch, err)
+	}
+	feat := []float32{1.5, -2, 0}
+	fbuf := encodeFeature(feat, 99)
+	fout, ftouch, err := decodeFeature(fbuf)
+	if err != nil || ftouch != 99 || !reflect.DeepEqual(feat, fout) {
+		t.Fatalf("%v %d %v", fout, ftouch, err)
+	}
+	if _, _, err := decodeSamples([]byte{1}); err == nil {
+		t.Fatal("truncated samples should fail")
+	}
+}
+
+// push applies a wire message synchronously through the update path.
+func push(t *testing.T, b *mq.Broker, m *wire.Message) {
+	t.Helper()
+	topic, ok := b.Topic(wire.TopicSamples)
+	if !ok {
+		t.Fatal("samples topic missing")
+	}
+	if _, err := topic.Append(0, uint64(m.Vertex), wire.Encode(m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitApplied(t *testing.T, w *Worker, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Stats().Applied >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("only %d of %d messages applied", w.Stats().Applied, n)
+}
+
+func TestApplyAndSample(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+
+	plan := testPlan(t)
+	hop1, hop2 := plan.OneHops[0].ID, plan.OneHops[1].ID
+	// Seed 1 → {2,3}; 2 → {4}; 3 → {5}; features for everyone.
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: hop1, Vertex: 1,
+		Samples: []wire.SampleRef{{Neighbor: 2, Ts: 10}, {Neighbor: 3, Ts: 11}}, Ingested: time.Now().UnixNano()})
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: hop2, Vertex: 2,
+		Samples: []wire.SampleRef{{Neighbor: 4, Ts: 12}}})
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: hop2, Vertex: 3,
+		Samples: []wire.SampleRef{{Neighbor: 5, Ts: 13}}})
+	for v := graph.VertexID(1); v <= 5; v++ {
+		push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: v, Feature: []float32{float32(v)}})
+	}
+	waitApplied(t, w, 8)
+
+	res, err := w.Sample(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 3 {
+		t.Fatalf("layers = %d", len(res.Layers))
+	}
+	if len(res.Layers[1]) != 2 || len(res.Layers[2]) != 2 {
+		t.Fatalf("layer sizes: %d %d", len(res.Layers[1]), len(res.Layers[2]))
+	}
+	if res.SampleMisses != 0 || res.FeatureMisses != 0 {
+		t.Fatalf("misses: %d %d", res.SampleMisses, res.FeatureMisses)
+	}
+	if res.Features[4][0] != 4 || res.Features[5][0] != 5 {
+		t.Fatal("features wrong")
+	}
+	// Sampled edge metadata must survive the cache round trip.
+	for _, e := range res.Edges {
+		if e.Hop == 0 && e.Parent == 1 && e.Child == 2 && e.Ts != 10 {
+			t.Fatalf("edge ts lost: %+v", e)
+		}
+	}
+	st := w.Stats()
+	if st.Served != 1 || st.Applied != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.IngestLatency.Count == 0 {
+		t.Fatal("ingest latency not measured")
+	}
+	if st.QueryLatency.Count != 1 {
+		t.Fatal("query latency not measured")
+	}
+}
+
+func TestMissesAccounted(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+
+	res, err := w.Sample(0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleMisses != 1 {
+		t.Fatalf("cold seed should miss once, got %d", res.SampleMisses)
+	}
+	if res.FeatureMisses != 1 {
+		t.Fatalf("cold seed feature misses = %d", res.FeatureMisses)
+	}
+}
+
+func TestEvictions(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+	plan := testPlan(t)
+	hop1 := plan.OneHops[0].ID
+
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: hop1, Vertex: 1,
+		Samples: []wire.SampleRef{{Neighbor: 2}}})
+	push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: 2, Feature: []float32{1}})
+	waitApplied(t, w, 2)
+	if !w.HasSample(hop1, 1) || !w.HasFeature(2) {
+		t.Fatal("entries missing before eviction")
+	}
+	push(t, b, &wire.Message{Kind: wire.KindSampleEvict, Hop: hop1, Vertex: 1})
+	push(t, b, &wire.Message{Kind: wire.KindFeatureEvict, Vertex: 2})
+	waitApplied(t, w, 4)
+	if w.HasSample(hop1, 1) || w.HasFeature(2) {
+		t.Fatal("entries still present after eviction")
+	}
+}
+
+func TestTTLSweep(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w, err := New(Config{
+		ID: 0, NumServers: 1,
+		Plans:  []*query.Plan{testPlan(t)},
+		Broker: b,
+		TTL:    80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	plan := testPlan(t)
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: plan.OneHops[0].ID, Vertex: 1,
+		Samples: []wire.SampleRef{{Neighbor: 2}}})
+	waitApplied(t, w, 1)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if !w.HasSample(plan.OneHops[0].ID, 1) {
+			return // swept
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("TTL sweep never removed the stale entry")
+}
+
+func TestCachedSamplesIntrospection(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+	plan := testPlan(t)
+	in := []wire.SampleRef{{Neighbor: 9, Ts: 1, Weight: 2}}
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: plan.OneHops[0].ID, Vertex: 4, Samples: in})
+	waitApplied(t, w, 1)
+	got := w.CachedSamples(plan.OneHops[0].ID, 4)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("cached samples = %v", got)
+	}
+	if w.CachedSamples(plan.OneHops[0].ID, 5) != nil {
+		t.Fatal("absent cell should be nil")
+	}
+}
+
+func TestSubmitServesThroughPool(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+	resp := make(chan Response, 1)
+	w.Submit(Request{Query: 0, Seed: 1, Resp: resp})
+	r := <-resp
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Result == nil || r.Latency <= 0 {
+		t.Fatal("pool response malformed")
+	}
+}
+
+func TestResetLatencies(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+	defer w.Stop()
+	w.Sample(0, 1)
+	if w.Stats().QueryLatency.Count == 0 {
+		t.Fatal("no latency recorded")
+	}
+	w.ResetLatencies()
+	if w.Stats().QueryLatency.Count != 0 {
+		t.Fatal("reset failed")
+	}
+}

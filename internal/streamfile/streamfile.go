@@ -1,0 +1,126 @@
+// Package streamfile reads and writes update-stream files: the
+// length-framed binary format produced by cmd/helios-datagen and consumed
+// by cmd/helios-replay, so generated workloads can be stored, shipped and
+// replayed reproducibly.
+//
+// Format: a sequence of frames, each `uvarint length` + `codec update
+// encoding`. A truncated final frame is tolerated on read (crash-safe
+// appends), mirroring the broker's segment recovery.
+package streamfile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+)
+
+// Writer appends updates to a stream file.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	frame *codec.Writer
+	n     int
+}
+
+// Create opens path for writing, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("streamfile: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<20), frame: codec.NewWriter(256)}, nil
+}
+
+// Append writes one update.
+func (w *Writer) Append(u graph.Update) error {
+	payload := codec.EncodeUpdate(u)
+	w.frame.Reset()
+	w.frame.Uvarint(uint64(len(payload)))
+	w.frame.Raw(payload)
+	if _, err := w.bw.Write(w.frame.Bytes()); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports updates appended.
+func (w *Writer) Count() int { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader iterates a stream file.
+type Reader struct {
+	br  *bufio.Reader
+	f   *os.File
+	buf []byte
+}
+
+// Open opens path for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("streamfile: %w", err)
+	}
+	return &Reader{f: f, br: bufio.NewReaderSize(f, 1<<20)}, nil
+}
+
+// Next returns the next update; io.EOF ends the stream. A truncated final
+// frame also ends the stream cleanly.
+func (r *Reader) Next() (graph.Update, error) {
+	length, err := readUvarint(r.br)
+	if err != nil {
+		return graph.Update{}, io.EOF
+	}
+	if length > 1<<30 {
+		return graph.Update{}, fmt.Errorf("streamfile: absurd frame length %d", length)
+	}
+	if uint64(cap(r.buf)) < length {
+		r.buf = make([]byte, length)
+	}
+	buf := r.buf[:length]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return graph.Update{}, io.EOF // truncated tail
+	}
+	u, err := codec.DecodeUpdate(buf)
+	if err != nil {
+		return graph.Update{}, fmt.Errorf("streamfile: corrupt frame: %w", err)
+	}
+	return u, nil
+}
+
+// Close closes the file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < 10; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("streamfile: varint overflow")
+}

@@ -1,0 +1,113 @@
+package streamfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helios/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.stream")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []graph.Update
+	for i := 0; i < 100; i++ {
+		var u graph.Update
+		if i%2 == 0 {
+			u = graph.NewEdgeUpdate(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Type: 1, Ts: graph.Timestamp(i)})
+		} else {
+			u = graph.NewVertexUpdate(graph.Vertex{ID: graph.VertexID(i), Type: 2, Feature: []float32{float32(i)}})
+		}
+		want = append(want, u)
+		if err := w.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 100 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, exp := range want {
+		u, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if u.String() != exp.String() {
+			t.Fatalf("frame %d: %v != %v", i, u, exp)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.stream")
+	w, _ := Create(path)
+	for i := 0; i < 10; i++ {
+		w.Append(graph.NewEdgeUpdate(graph.Edge{Src: 1, Dst: 2, Ts: graph.Timestamp(i)}))
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 9 {
+		t.Fatalf("read %d intact frames, want 9", n)
+	}
+}
+
+func TestCorruptFrameRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.stream")
+	// Frame claiming 3 bytes of garbage.
+	os.WriteFile(path, []byte{3, 0xEE, 0xEE, 0xEE}, 0o644)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt frame should error, got %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestAbsurdLengthRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.stream")
+	// uvarint(2^31) then nothing.
+	os.WriteFile(path, []byte{0x80, 0x80, 0x80, 0x80, 0x08}, 0o644)
+	r, _ := Open(path)
+	defer r.Close()
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("absurd length should error, got %v", err)
+	}
+}

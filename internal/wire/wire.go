@@ -1,0 +1,172 @@
+// Package wire defines the messages Helios moves between its stages, with
+// their binary encodings:
+//
+//   - Sample-queue messages (sampling worker → serving worker, §5.3):
+//     reservoir snapshots, feature updates, and eviction tombstones that a
+//     serving worker applies to its query-aware sample cache.
+//   - Subscription deltas (sampling worker ↔ sampling worker, §5.3):
+//     refcount changes that track which serving workers need which
+//     vertices' samples and features.
+//
+// Every message carries the ingestion timestamp of the graph update that
+// caused it, so serving workers can measure end-to-end ingestion latency
+// (Fig. 17) at cache-apply time.
+package wire
+
+import (
+	"fmt"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/query"
+)
+
+// Kind discriminates message types on the queues.
+type Kind uint8
+
+const (
+	// KindSampleUpsert replaces the cached reservoir snapshot of one
+	// (one-hop query, vertex) pair.
+	KindSampleUpsert Kind = iota + 1
+	// KindSampleEvict removes a cached reservoir snapshot (its serving
+	// worker unsubscribed).
+	KindSampleEvict
+	// KindFeatureUpdate replaces a cached vertex feature.
+	KindFeatureUpdate
+	// KindFeatureEvict removes a cached vertex feature.
+	KindFeatureEvict
+	// KindSubDelta adjusts a sample-subscription refcount (between
+	// sampling workers).
+	KindSubDelta
+	// KindFeatSubDelta adjusts a feature-subscription refcount.
+	KindFeatSubDelta
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSampleUpsert:
+		return "SampleUpsert"
+	case KindSampleEvict:
+		return "SampleEvict"
+	case KindFeatureUpdate:
+		return "FeatureUpdate"
+	case KindFeatureEvict:
+		return "FeatureEvict"
+	case KindSubDelta:
+		return "SubDelta"
+	case KindFeatSubDelta:
+		return "FeatSubDelta"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// SampleRef is one sampled neighbour inside a snapshot.
+type SampleRef struct {
+	Neighbor graph.VertexID
+	Ts       graph.Timestamp
+	Weight   float32
+}
+
+// Message is the union of all queue messages; Kind selects the meaningful
+// fields.
+type Message struct {
+	Kind Kind
+	// Hop identifies the one-hop query for sample messages and sub deltas.
+	Hop query.HopID
+	// Vertex is the table key the message applies to.
+	Vertex graph.VertexID
+	// Samples is the full reservoir snapshot for KindSampleUpsert.
+	Samples []SampleRef
+	// Feature is the vertex feature for KindFeatureUpdate.
+	Feature []float32
+	// SEW is the serving worker a subscription delta refers to.
+	SEW int32
+	// Delta is +1 or -1 for subscription messages.
+	Delta int8
+	// Ingested propagates the causing update's ingestion nanosecond.
+	Ingested int64
+}
+
+// Append encodes m into w.
+func Append(w *codec.Writer, m *Message) {
+	w.Byte(byte(m.Kind))
+	w.Uvarint(uint64(m.Hop))
+	w.Uvarint(uint64(m.Vertex))
+	w.Varint(m.Ingested)
+	switch m.Kind {
+	case KindSampleUpsert:
+		w.Uvarint(uint64(len(m.Samples)))
+		for _, s := range m.Samples {
+			w.Uvarint(uint64(s.Neighbor))
+			w.Varint(int64(s.Ts))
+			w.Float32(s.Weight)
+		}
+	case KindFeatureUpdate:
+		w.Float32s(m.Feature)
+	case KindSubDelta, KindFeatSubDelta:
+		w.Varint(int64(m.SEW))
+		w.Varint(int64(m.Delta))
+	}
+}
+
+// Encode serializes m to a fresh buffer.
+func Encode(m *Message) []byte {
+	w := codec.NewWriter(32 + 16*len(m.Samples) + 4*len(m.Feature))
+	Append(w, m)
+	return w.Bytes()
+}
+
+// Decode parses one message from buf.
+func Decode(buf []byte) (Message, error) {
+	r := codec.NewReader(buf)
+	var m Message
+	m.Kind = Kind(r.Byte())
+	m.Hop = query.HopID(r.Uvarint())
+	m.Vertex = graph.VertexID(r.Uvarint())
+	m.Ingested = r.Varint()
+	switch m.Kind {
+	case KindSampleUpsert:
+		n := int(r.Uvarint())
+		if r.Err() == nil && n > 0 {
+			if n > r.Remaining() {
+				return m, codec.ErrShortBuffer
+			}
+			m.Samples = make([]SampleRef, n)
+			for i := range m.Samples {
+				m.Samples[i].Neighbor = graph.VertexID(r.Uvarint())
+				m.Samples[i].Ts = graph.Timestamp(r.Varint())
+				m.Samples[i].Weight = r.Float32()
+			}
+		}
+	case KindFeatureUpdate:
+		m.Feature = r.Float32s()
+	case KindSubDelta, KindFeatSubDelta:
+		m.SEW = int32(r.Varint())
+		m.Delta = int8(r.Varint())
+	case KindSampleEvict, KindFeatureEvict:
+		// header only
+	default:
+		if r.Err() == nil {
+			return m, fmt.Errorf("wire: unknown kind %d", m.Kind)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return m, err
+	}
+	return m, r.Finish()
+}
+
+// Topic names shared by all deployments. Each deployment prefixes them with
+// a namespace when several clusters share one broker.
+const (
+	// TopicUpdates carries graph updates, partitioned across sampling
+	// workers by origin-vertex hash.
+	TopicUpdates = "helios.updates"
+	// TopicSamples carries cache messages, one partition per serving
+	// worker.
+	TopicSamples = "helios.samples"
+	// TopicSubs carries subscription deltas, partitioned across sampling
+	// workers by subject-vertex hash.
+	TopicSubs = "helios.subs"
+)

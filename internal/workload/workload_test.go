@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/sampling"
+)
+
+func TestGeneratorStreamShape(t *testing.T) {
+	for _, spec := range AllDatasets() {
+		spec := spec.Scale(0.01)
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.TrackDegrees(true)
+		var vertices, edges int
+		var lastTs graph.Timestamp
+		for {
+			u, ok := g.Next()
+			if !ok {
+				break
+			}
+			switch u.Kind {
+			case graph.UpdateVertex:
+				vertices++
+				if len(u.Vertex.Feature) == 0 {
+					t.Fatalf("%s: vertex without feature", spec.Name)
+				}
+			case graph.UpdateEdge:
+				edges++
+				if u.Edge.Ts <= lastTs {
+					t.Fatalf("%s: timestamps not strictly increasing", spec.Name)
+				}
+				lastTs = u.Edge.Ts
+				if u.Edge.Weight <= 0 {
+					t.Fatalf("%s: non-positive weight", spec.Name)
+				}
+			}
+		}
+		wantV, wantE := 0, 0
+		for _, v := range spec.Vertices {
+			wantV += v.Count
+		}
+		for _, e := range spec.Edges {
+			wantE += e.Count
+		}
+		if vertices != wantV || edges != wantE {
+			t.Fatalf("%s: got %d/%d vertices, %d/%d edges", spec.Name, vertices, wantV, edges, wantE)
+		}
+		if g.TotalUpdates() != wantV+wantE {
+			t.Fatalf("%s: TotalUpdates = %d", spec.Name, g.TotalUpdates())
+		}
+		// After exhaustion Next stays false.
+		if _, ok := g.Next(); ok {
+			t.Fatalf("%s: generator resurrect", spec.Name)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(Taobao().Scale(0.01))
+	g2, _ := NewGenerator(Taobao().Scale(0.01))
+	for i := 0; i < 500; i++ {
+		u1, ok1 := g1.Next()
+		u2, ok2 := g2.Next()
+		if ok1 != ok2 || u1.String() != u2.String() {
+			t.Fatalf("divergence at %d: %v vs %v", i, u1, u2)
+		}
+	}
+}
+
+func TestGeneratorSkew(t *testing.T) {
+	// FIN uses ZipfS=1.1 → supernodes: max degree must dwarf the average.
+	g, _ := NewGenerator(FIN().Scale(0.2))
+	g.TrackDegrees(true)
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	st := g.Degrees()
+	if st.Max < int(20*st.Avg) {
+		t.Fatalf("expected heavy skew: max=%d avg=%.2f", st.Max, st.Avg)
+	}
+	if st.Min >= st.Max/10 {
+		t.Fatalf("degree spread too flat: min=%d max=%d", st.Min, st.Max)
+	}
+}
+
+func TestBuildQueryPerDataset(t *testing.T) {
+	for _, spec := range append(AllDatasets(), INTER3()) {
+		g, err := NewGenerator(spec.Scale(0.001))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []sampling.Strategy{sampling.TopK, sampling.Random} {
+			q, err := g.BuildQuery(strat)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", spec.Name, strat, err)
+			}
+			if q.K() != len(spec.QueryHops) {
+				t.Fatalf("%s: K = %d", spec.Name, q.K())
+			}
+			if _, err := query.Decompose(0, q, g.Schema()); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestSeedVertexInRange(t *testing.T) {
+	spec := Taobao().Scale(0.001)
+	g, _ := NewGenerator(spec)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := g.SeedVertex(rng)
+		// Users are vertex-type 0.
+		if v < VertexIDFor(0, 0) || v >= VertexIDFor(0, spec.Vertices[0].Count) {
+			t.Fatalf("seed %d out of range", v)
+		}
+	}
+}
+
+func TestVertexIDNamespaces(t *testing.T) {
+	if VertexIDFor(0, 5) == VertexIDFor(1, 5) {
+		t.Fatal("type namespaces collide")
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	g, _ := NewGenerator(BI().Scale(0.001))
+	var got []graph.Update
+	n, err := ReplayAll(g, func(u graph.Update) error {
+		got = append(got, u)
+		return nil
+	})
+	if err != nil || n != len(got) || n != g.TotalUpdates() {
+		t.Fatalf("n=%d len=%d total=%d err=%v", n, len(got), g.TotalUpdates(), err)
+	}
+}
+
+func TestReplayRateApproximation(t *testing.T) {
+	g, _ := NewGenerator(INTER().Scale(0.05))
+	start := time.Now()
+	n, err := ReplayRate(g, func(graph.Update) error { return nil }, 2000, 200*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	rate := float64(n) / elapsed
+	if rate < 1000 || rate > 4000 {
+		t.Fatalf("rate = %.0f, want ≈ 2000", rate)
+	}
+}
+
+func TestReplayRateStops(t *testing.T) {
+	g, _ := NewGenerator(INTER().Scale(0.05))
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		n, _ := ReplayRate(g, func(graph.Update) error { return nil }, 100000, 10*time.Second, stop)
+		done <- n
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("replay did not stop")
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	st := RunClosedLoop(4, 100*time.Millisecond, func(client int) error {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if calls.Load() == 0 {
+		t.Fatal("fn never called")
+	}
+	if st.Requests == 0 || st.QPS == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Latency.Count != st.Requests {
+		t.Fatal("latency samples != requests")
+	}
+	if st.Errors != 0 {
+		t.Fatal("unexpected errors")
+	}
+}
+
+func TestRunClosedLoopErrors(t *testing.T) {
+	st := RunClosedLoop(1, 30*time.Millisecond, func(int) error {
+		time.Sleep(time.Millisecond)
+		return errTest
+	})
+	if st.Errors == 0 || st.Requests != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test" }
