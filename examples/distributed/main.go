@@ -129,7 +129,10 @@ func main() {
 	// Drive the system through the public HTTP gateway, exactly as an
 	// application would.
 	post := func(path string, body map[string]any) {
-		data, _ := json.Marshal(body)
+		data, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
 		resp, err := http.Post(gateway+path, "application/json", bytes.NewReader(data))
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,60 @@
+// Package clock provides the injectable time source used by Helios's
+// deterministic components. The sampling worker's reservoir tables,
+// TTL sweeps and checkpoints (§5, §6) must replay identically from a
+// checkpoint, so those paths never read the wall clock directly — they
+// take a Clock, which is the real clock in production and a manually
+// advanced fake in tests (no sleeping in recovery tests). The walltime
+// analyzer (internal/lint) enforces this.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a minimal time source.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+type wall struct{}
+
+func (wall) Now() time.Time { return time.Now() }
+
+// Wall returns the real wall clock.
+func Wall() Clock { return wall{} }
+
+// Fake is a manually advanced Clock for tests. The zero value starts at
+// the zero time; NewFake picks a fixed, nonzero epoch so TTL arithmetic
+// (now - TTL) stays positive.
+type Fake struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFake returns a fake clock starting at a fixed epoch.
+func NewFake() *Fake {
+	return &Fake{t: time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// Set jumps the fake clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = t
+}

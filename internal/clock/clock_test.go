@@ -1,0 +1,32 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallAdvances(t *testing.T) {
+	c := Wall()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFake(t *testing.T) {
+	f := NewFake()
+	t0 := f.Now()
+	if f.Now() != t0 {
+		t.Fatal("fake clock moved without Advance")
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("Advance moved %v, want 3s", got)
+	}
+	epoch := time.Date(2030, 6, 1, 12, 0, 0, 0, time.UTC)
+	f.Set(epoch)
+	if f.Now() != epoch {
+		t.Fatalf("Set: got %v, want %v", f.Now(), epoch)
+	}
+}

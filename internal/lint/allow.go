@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowIndex records, per file and line, the analyzers allowlisted by
+// //lint:allow comments. A comment suppresses findings on its own line
+// (trailing comment) and on the line directly below it (own-line comment).
+type allowIndex map[string]map[int]map[string]bool
+
+const allowPrefix = "lint:allow"
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					names := byLine[line]
+					if names == nil {
+						names = make(map[string]bool)
+						byLine[line] = names
+					}
+					names[name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) allowed(file string, line int, analyzer string) bool {
+	return idx[file][line][analyzer]
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedError flags error values assigned to the blank identifier
+// (`_ = f()`, `v, _ := g()` where the dropped result is an error). InkStream
+// and STAG both report that incremental-serving bugs surface as silent
+// staleness, not crashes — a swallowed WAL or segment-write error is
+// exactly how a "durable" queue silently stops being durable. Intentional
+// drops (best-effort paths) must carry a `//lint:allow droppederror <why>`
+// justification.
+var DroppedError = &Analyzer{
+	Name: "droppederror",
+	Doc:  "error result discarded via the blank identifier",
+	Run:  runDroppedError,
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runDroppedError(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Multi-value form: x, _ := f() — one RHS call, results
+			// correspond positionally to the LHS.
+			if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+				tv, ok := info.Types[assign.Rhs[0]]
+				if !ok {
+					return true
+				}
+				tuple, ok := tv.Type.(*types.Tuple)
+				if !ok || tuple.Len() != len(assign.Lhs) {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+						pass.Reportf(lhs.Pos(), "error result of %s discarded; handle it or justify with //lint:allow droppederror",
+							describeCall(assign.Rhs[0]))
+					}
+				}
+				return true
+			}
+			// Paired form: _ = f(), or _, x = g(), h().
+			for i, lhs := range assign.Lhs {
+				if !isBlank(lhs) || i >= len(assign.Rhs) {
+					continue
+				}
+				tv, ok := info.Types[assign.Rhs[i]]
+				if !ok {
+					continue
+				}
+				if isErrorType(tv.Type) {
+					pass.Reportf(lhs.Pos(), "error result of %s discarded; handle it or justify with //lint:allow droppederror",
+						describeCall(assign.Rhs[i]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorInterface)
+}
+
+func describeCall(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		return types.ExprString(call.Fun)
+	}
+	return types.ExprString(e)
+}

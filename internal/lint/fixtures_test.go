@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkWants compares a report against the `// want <analyzer>` markers in
+// the fixture sources: every marked line must produce a finding for that
+// analyzer, and every finding must sit on a marked line.
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*Package, analyzer string, rep Report) {
+	t.Helper()
+	type mark struct {
+		file string
+		line int
+	}
+	want := make(map[mark]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					fields := strings.Fields(text)
+					if len(fields) == 2 && fields[0] == "want" && fields[1] == analyzer {
+						pos := fset.Position(c.Pos())
+						want[mark{pos.Filename, pos.Line}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture has no `// want %s` markers; the positive cases are not being tested", analyzer)
+	}
+	got := make(map[mark]string)
+	for _, f := range rep.Findings {
+		if f.Analyzer != analyzer {
+			t.Errorf("finding from unexpected analyzer %s at %s:%d", f.Analyzer, f.File, f.Line)
+			continue
+		}
+		got[mark{f.File, f.Line}] = f.Message
+	}
+	for m := range want {
+		if _, ok := got[m]; !ok {
+			t.Errorf("missing expected %s finding at %s:%d", analyzer, m.file, m.line)
+		}
+	}
+	for m, msg := range got {
+		if !want[m] {
+			t.Errorf("unexpected %s finding at %s:%d: %s", analyzer, m.file, m.line, msg)
+		}
+	}
+}
+
+// TestAnalyzerFixtures runs each analyzer alone over its fixture package and
+// checks findings against the `// want` markers. Each fixture also carries
+// one //lint:allow-suppressed violation, so Suppressed must be non-zero.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		opts *Options
+	}{
+		{name: "lockacrossblock"},
+		{name: "lockbalance"},
+		{name: "droppederror"},
+		{name: "walltime", opts: &Options{DeterministicPkgs: []string{"fixture/walltime"}}},
+		{name: "goroutinestop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkg, err := LoadDir(fset, filepath.Join("testdata", tc.name), "fixture/"+tc.name)
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture has type errors: %v", pkg.TypeErrors)
+			}
+			analyzers, err := Select([]string{tc.name}, nil)
+			if err != nil {
+				t.Fatalf("Select: %v", err)
+			}
+			rep := Run(fset, []*Package{pkg}, analyzers, tc.opts)
+			checkWants(t, fset, []*Package{pkg}, tc.name, rep)
+			if rep.Suppressed == 0 {
+				t.Errorf("fixture's //lint:allow case did not register as suppressed")
+			}
+		})
+	}
+}
+
+// TestLockAcrossBlockModuleFixture loads the two-package lockmod module so
+// the cross-package half of lockacrossblock — a call into a configured
+// blocking package while a mutex is held — is exercised with real type
+// information resolved across package boundaries.
+func TestLockAcrossBlockModuleFixture(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, filepath.Join("testdata", "lockmod"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (lockmod/mq and lockmod/worker)", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s has type errors: %v", pkg.PkgPath, pkg.TypeErrors)
+		}
+	}
+	analyzers, err := Select([]string{"lockacrossblock"}, nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	rep := Run(fset, pkgs, analyzers, &Options{BlockingPkgs: []string{"lockmod/mq"}})
+	checkWants(t, fset, pkgs, "lockacrossblock", rep)
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoroutineStop flags `go` statements that launch an unbounded loop (a
+// `for` with no condition) with no visible tie-down: no context/WaitGroup
+// Done(), no receive from a stop/done/quit channel, and no range over a
+// channel (which terminates when the channel closes). A long-lived
+// component that leaks such a goroutine cannot be drained or restarted
+// cleanly — the recovery path (§4.1) requires every worker to stop, replay
+// and resume, so every polling loop must be stoppable.
+var GoroutineStop = &Analyzer{
+	Name: "goroutinestop",
+	Doc:  "goroutine with an unbounded loop and no stop channel, context, or WaitGroup tie-down",
+	Run:  runGoroutineStop,
+}
+
+var stopNameRE = regexp.MustCompile(`(?i)stop|done|quit|exit|clos|shutdown|cancel|ctx|term`)
+
+func runGoroutineStop(pass *Pass) {
+	bodies := declBodies(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, bodies)
+			if body == nil {
+				return true // call into another package; not analyzable
+			}
+			if !hasUnboundedLoop(body) || hasTieDown(pass, body) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine runs an unbounded loop with no stop channel, context, or WaitGroup tie-down; it cannot be drained on shutdown")
+			return true
+		})
+	}
+}
+
+// declBodies indexes the package's function declarations by their object,
+// so `go w.poll()` can be resolved to poll's body.
+func declBodies(pkg *Package) map[types.Object]*ast.BlockStmt {
+	m := make(map[types.Object]*ast.BlockStmt)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					m[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return m
+}
+
+// goBody resolves the body the go statement will run: a function literal's
+// own body, or the body of a same-package function or method.
+func goBody(pass *Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.Pkg.Info.Uses[fun]; obj != nil {
+			return bodies[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Pkg.Info.Uses[fun.Sel]; obj != nil {
+			return bodies[obj]
+		}
+	}
+	return nil
+}
+
+// hasUnboundedLoop reports whether body contains a `for` with no condition
+// outside nested function literals.
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasTieDown reports whether body contains a recognizable stop mechanism:
+// a Done()/Wait() call (context or WaitGroup), a receive from a channel
+// whose name suggests shutdown, or a range over a channel.
+func hasTieDown(pass *Pass, body *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stopNameRE.MatchString(types.ExprString(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil, nil)
+	if err != nil {
+		t.Fatalf("Select(nil, nil): %v", err)
+	}
+	if len(all) != len(Analyzers()) {
+		t.Fatalf("Select(nil, nil) returned %d analyzers, want %d", len(all), len(Analyzers()))
+	}
+
+	one, err := Select([]string{"walltime"}, nil)
+	if err != nil {
+		t.Fatalf("Select(enable walltime): %v", err)
+	}
+	if len(one) != 1 || one[0].Name != "walltime" {
+		t.Fatalf("Select(enable walltime) = %v, want exactly [walltime]", one)
+	}
+
+	rest, err := Select(nil, []string{"walltime"})
+	if err != nil {
+		t.Fatalf("Select(disable walltime): %v", err)
+	}
+	if len(rest) != len(Analyzers())-1 {
+		t.Fatalf("Select(disable walltime) returned %d analyzers, want %d", len(rest), len(Analyzers())-1)
+	}
+	for _, a := range rest {
+		if a.Name == "walltime" {
+			t.Fatalf("disabled analyzer walltime still selected")
+		}
+	}
+
+	if _, err := Select([]string{"nosuchanalyzer"}, nil); err == nil {
+		t.Fatalf("Select with unknown analyzer name did not error")
+	}
+}
+
+// TestRunReportJSONShape builds a synthetic module in a temp dir, runs the
+// suite, and checks the machine-readable report: the -json contract the CI
+// gate scripts against.
+func TestRunReportJSONShape(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func main() {
+	_ = fail()
+}
+`)
+
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	rep := Run(fset, pkgs, Analyzers(), DefaultOptions())
+	if rep.Count != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("Count = %d, len(Findings) = %d, want 1 finding (droppederror)", rep.Count, len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "droppederror" {
+		t.Errorf("Analyzer = %q, want droppederror", f.Analyzer)
+	}
+	if filepath.Base(f.File) != "main.go" || f.Line != 8 {
+		t.Errorf("finding at %s:%d, want main.go:8", f.File, f.Line)
+	}
+	if rep.Packages != 1 {
+		t.Errorf("Packages = %d, want 1", rep.Packages)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	for _, key := range []string{"findings", "count", "suppressed", "packages"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON report missing %q key: %s", key, data)
+		}
+	}
+	if _, ok := decoded["findings"].([]any); !ok {
+		t.Errorf("findings is not a JSON array: %s", data)
+	}
+
+	// A clean run must still serialize findings as [], not null, so
+	// consumers can iterate unconditionally.
+	clean, err := json.Marshal(Run(fset, nil, Analyzers(), nil))
+	if err != nil {
+		t.Fatalf("marshal empty report: %v", err)
+	}
+	if !strings.Contains(string(clean), `"findings":[]`) {
+		t.Errorf(`empty report serialized as %s, want "findings":[]`, clean)
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over this repository with the
+// default options — the same invocation as `go run ./cmd/helios-lint ./...`
+// — and fails on any unsuppressed finding. This keeps the lint gate
+// enforced by plain `go test ./...` as well as by make check.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", root)
+	}
+	rep := Run(fset, pkgs, Analyzers(), DefaultOptions())
+	for _, f := range rep.Findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and (best-effort) type-checked package of the
+// module under analysis.
+type Package struct {
+	// PkgPath is the import path ("helios/internal/mq").
+	PkgPath string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry type information. Type checking is best-effort:
+	// analyzers must tolerate nil lookups (Info is always non-nil, but an
+	// expression may be missing from it if its file had type errors).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check errors; they do not abort the
+	// load because most analyzers degrade to syntactic checks.
+	TypeErrors []error
+
+	allows allowIndex
+}
+
+// stdImporter type-checks standard-library packages from $GOROOT/src. The
+// toolchain no longer ships export data for the stdlib, so a source importer
+// is the only zero-dependency way to get real types for time.Now, sync.Mutex
+// and friends. Cgo is disabled so pure-Go fallback files are selected.
+type stdImporter struct {
+	fset *token.FileSet
+	ctx  build.Context
+	pkgs map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &stdImporter{fset: fset, ctx: ctx, pkgs: make(map[string]*types.Package)}
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := si.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	si.pkgs[path] = nil // cycle guard
+	bp, err := si.ctx.Import(path, "", 0)
+	if err != nil {
+		delete(si.pkgs, path)
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(si.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			delete(si.pkgs, path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: si,
+		Error:    func(error) {}, // stdlib soft errors are ignored
+	}
+	pkg, err := conf.Check(path, si.fset, files, nil)
+	if pkg == nil {
+		delete(si.pkgs, path)
+		return nil, err
+	}
+	si.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set and falls back to the stdlib source importer for everything else.
+type moduleImporter struct {
+	modPath string
+	checked map[string]*types.Package
+	std     *stdImporter
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.modPath || strings.HasPrefix(path, mi.modPath+"/") {
+		if p, ok := mi.checked[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("lint: module package %q not loaded yet (import cycle?)", path)
+	}
+	return mi.std.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every non-test package under the module
+// rooted at root. Test files are excluded: the invariants the analyzers
+// encode guard production code, and tests legitimately use wall clocks and
+// ad-hoc goroutines. Packages are returned sorted by import path.
+func LoadModule(fset *token.FileSet, root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		matches, globErr := filepath.Glob(filepath.Join(path, "*.go"))
+		if globErr != nil {
+			return globErr
+		}
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pkgs := make(map[string]*Package)
+	for _, dir := range dirs {
+		p, err := parseDir(fset, dir, importPathFor(modPath, root, dir))
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs[p.PkgPath] = p
+		}
+	}
+
+	order, err := topoOrder(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+	std := newStdImporter(fset)
+	checked := make(map[string]*types.Package)
+	for _, p := range order {
+		typeCheck(fset, p, &moduleImporter{modPath: modPath, checked: checked, std: std})
+		if p.Types != nil {
+			checked[p.PkgPath] = p.Types
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].PkgPath < order[j].PkgPath })
+	return order, nil
+}
+
+// LoadDir loads a single directory as one standalone package with the given
+// import path — the fixture-loading mode used by the analyzer tests.
+func LoadDir(fset *token.FileSet, dir, pkgPath string) (*Package, error) {
+	p, err := parseDir(fset, dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	std := newStdImporter(fset)
+	typeCheck(fset, p, &moduleImporter{modPath: pkgPath, checked: map[string]*types.Package{}, std: std})
+	return p, nil
+}
+
+func importPathFor(modPath, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+func parseDir(fset *token.FileSet, dir, pkgPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	p := &Package{PkgPath: pkgPath, Dir: dir}
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, m, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", m, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, nil
+	}
+	p.allows = buildAllowIndex(fset, p.Files)
+	return p, nil
+}
+
+// moduleImports returns the in-module packages p imports.
+func moduleImports(p *Package, modPath string) []string {
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	return out
+}
+
+// topoOrder sorts packages so every package follows its in-module imports.
+func topoOrder(pkgs map[string]*Package, modPath string) ([]*Package, error) {
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := pkgs[path]
+		if !ok {
+			return nil // e.g. a path with only test files
+		}
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %q", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range moduleImports(p, modPath) {
+			if dep == path {
+				continue
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func typeCheck(fset *token.FileSet, p *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	//lint:allow droppederror soft type errors are collected through conf.Error above; analysis proceeds best-effort on partial info
+	pkg, _ := conf.Check(p.PkgPath, fset, p.Files, info)
+	p.Types = pkg
+	p.Info = info
+}

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The two lock analyzers share a per-function scan that records, in source
+// order, every lock/unlock call, deferred unlock, return statement and
+// potentially-blocking operation. Both work positionally rather than on a
+// CFG: a critical section is the source span from a Lock() to the first
+// matching Unlock() (or to the function end when the unlock is deferred).
+// That is deliberately simple — the repo's locking style is
+// lock-at-the-top, defer-or-linear-unlock — and anything cleverer must
+// carry a //lint:allow justification.
+
+type lockKind uint8
+
+const (
+	kindWrite lockKind = iota // Lock / Unlock
+	kindRead                  // RLock / RUnlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	recv string // rendered receiver expression, e.g. "p.mu"
+	kind lockKind
+}
+
+type blockEvent struct {
+	pos  token.Pos
+	what string // human-readable description of the blocking operation
+}
+
+// funcScan is the flattened, source-ordered view of one function body.
+type funcScan struct {
+	locks    []lockEvent
+	unlocks  []lockEvent
+	deferred []lockEvent // unlocks registered via defer
+	returns  []token.Pos
+	blocking []blockEvent
+	end      token.Pos
+}
+
+// lockMethod classifies a call as a mutex operation by method name. The
+// receiver is rendered to a string so two references to the same lock
+// expression compare equal.
+func lockMethod(call *ast.CallExpr) (recv string, kind lockKind, isLock, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK || len(call.Args) != 0 {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return types.ExprString(sel.X), kindWrite, true, true
+	case "Unlock":
+		return types.ExprString(sel.X), kindWrite, false, true
+	case "RLock":
+		return types.ExprString(sel.X), kindRead, true, true
+	case "RUnlock":
+		return types.ExprString(sel.X), kindRead, false, true
+	}
+	return "", 0, false, false
+}
+
+// eachFuncBody invokes fn for every function body in the package: top-level
+// declarations and every function literal (each literal is analyzed as its
+// own function, since it runs on its own goroutine or defer schedule).
+func eachFuncBody(pkg *Package, fn func(name string, body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// scanFuncBody flattens body into source-ordered event lists. Nested
+// function literals are skipped (they are scanned as their own bodies),
+// except that deferred literals are searched for unlock calls so the
+// `defer func() { mu.Unlock() }()` idiom registers as a deferred unlock.
+func scanFuncBody(pass *Pass, body *ast.BlockStmt) *funcScan {
+	fs := &funcScan{end: body.End()}
+	var inspect func(n ast.Node, inSelectComm bool)
+	inspect = func(root ast.Node, inSelectComm bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n == root {
+					return true
+				}
+				return false // analyzed as its own body
+			case *ast.DeferStmt:
+				if call := n.Call; call != nil {
+					if recv, kind, isLock, ok := lockMethod(call); ok && !isLock {
+						fs.deferred = append(fs.deferred, lockEvent{pos: n.Pos(), recv: recv, kind: kind})
+						return false
+					}
+					if lit, ok := call.Fun.(*ast.FuncLit); ok {
+						// A deferred closure both registers unlocks and is
+						// scanned as a body of its own; only the unlock
+						// registration happens here.
+						ast.Inspect(lit.Body, func(m ast.Node) bool {
+							if c, ok := m.(*ast.CallExpr); ok {
+								if recv, kind, isLock, ok := lockMethod(c); ok && !isLock {
+									fs.deferred = append(fs.deferred, lockEvent{pos: n.Pos(), recv: recv, kind: kind})
+								}
+							}
+							return true
+						})
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if recv, kind, isLock, ok := lockMethod(n); ok {
+					ev := lockEvent{pos: n.Pos(), recv: recv, kind: kind}
+					if isLock {
+						fs.locks = append(fs.locks, ev)
+					} else {
+						fs.unlocks = append(fs.unlocks, ev)
+					}
+					return true
+				}
+				if what, ok := blockingCall(pass, n); ok {
+					fs.blocking = append(fs.blocking, blockEvent{pos: n.Pos(), what: what})
+				}
+			case *ast.ReturnStmt:
+				fs.returns = append(fs.returns, n.Pos())
+			case *ast.SendStmt:
+				if !inSelectComm {
+					fs.blocking = append(fs.blocking, blockEvent{pos: n.Pos(), what: "channel send"})
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inSelectComm {
+					fs.blocking = append(fs.blocking, blockEvent{pos: n.Pos(), what: "channel receive"})
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					fs.blocking = append(fs.blocking, blockEvent{pos: n.Pos(), what: "blocking select"})
+				}
+				// Scan clause comm statements with sends/receives muted (the
+				// select-level event covers them) and clause bodies normally.
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm != nil {
+						inspect(cc.Comm, true)
+					}
+					for _, s := range cc.Body {
+						inspect(s, false)
+					}
+				}
+				return false
+			}
+			return true
+		})
+	}
+	inspect(body, false)
+	return fs
+}
+
+// blockingCall reports whether call resolves to a function or method of one
+// of the configured blocking packages (the broker and RPC layers). Calls
+// within a blocking package itself are exempt: there the mutex guards the
+// blocking resource by design, and channel-operation detection still
+// applies.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	for _, sub := range pass.Opts.BlockingPkgs {
+		if strings.Contains(pass.Pkg.PkgPath, sub) {
+			return "", false
+		}
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[fun]
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	for _, sub := range pass.Opts.BlockingPkgs {
+		if strings.Contains(path, sub) {
+			return "call to " + path + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// matches reports whether an unlock event releases the lock event (Unlock
+// pairs with Lock, RUnlock with RLock) on the same rendered receiver.
+func (u lockEvent) matches(l lockEvent) bool {
+	return u.recv == l.recv && u.kind == l.kind
+}
+
+// LockAcrossBlock flags blocking operations — channel sends/receives,
+// selects without a default, and calls into the broker (mq) or RPC layers —
+// performed while a mutex is held. Holding a lock across such an operation
+// is the §4 ingestion-stall hazard: a serving or broker thread parked on a
+// queue while holding a lock stalls every producer behind that lock.
+var LockAcrossBlock = &Analyzer{
+	Name: "lockacrossblock",
+	Doc:  "mutex held across a channel operation, mq publish/consume, or rpc call",
+	Run:  runLockAcrossBlock,
+}
+
+func runLockAcrossBlock(pass *Pass) {
+	eachFuncBody(pass.Pkg, func(name string, body *ast.BlockStmt) {
+		fs := scanFuncBody(pass, body)
+		if len(fs.locks) == 0 || len(fs.blocking) == 0 {
+			return
+		}
+		reported := make(map[token.Pos]bool)
+		for _, l := range fs.locks {
+			end := fs.end
+			for _, u := range fs.unlocks {
+				if u.matches(l) && u.pos > l.pos && u.pos < end {
+					end = u.pos
+				}
+			}
+			for _, b := range fs.blocking {
+				if b.pos > l.pos && b.pos < end && !reported[b.pos] {
+					reported[b.pos] = true
+					pass.Reportf(b.pos, "%s while %s is held (locked at line %d); release the lock first or use a non-blocking path",
+						b.what, l.recv, pass.Fset.Position(l.pos).Line)
+				}
+			}
+		}
+	})
+}
+
+// LockBalance flags Lock() calls whose matching Unlock() is neither
+// deferred nor present on every return path of the function. An unbalanced
+// lock is the classic silent-deadlock hazard: the first error return that
+// skips the unlock wedges every consumer of that mutex.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "Lock() without a deferred or all-paths Unlock()",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) {
+	eachFuncBody(pass.Pkg, func(name string, body *ast.BlockStmt) {
+		fs := scanFuncBody(pass, body)
+		for _, l := range fs.locks {
+			if hasDeferredUnlock(fs, l) {
+				continue
+			}
+			var unlocks []token.Pos
+			for _, u := range fs.unlocks {
+				if u.matches(l) && u.pos > l.pos {
+					unlocks = append(unlocks, u.pos)
+				}
+			}
+			if len(unlocks) == 0 {
+				pass.Reportf(l.pos, "%s is locked but never unlocked in %s; defer the unlock or release it on every path",
+					l.recv, name)
+				continue
+			}
+			for _, r := range fs.returns {
+				if r <= l.pos {
+					continue
+				}
+				covered := false
+				for _, u := range unlocks {
+					if u < r {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					pass.Reportf(r, "return may leave %s locked (Lock at line %d has no Unlock before this return)",
+						l.recv, pass.Fset.Position(l.pos).Line)
+				}
+			}
+		}
+	})
+}
+
+func hasDeferredUnlock(fs *funcScan, l lockEvent) bool {
+	for _, d := range fs.deferred {
+		if d.matches(l) && d.pos > l.pos {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the droppederror analyzer: error results
+// assigned to the blank identifier are findings; discarded bools and
+// handled errors are not.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func lookup() (int, bool) { return 0, false }
+
+func bad1() {
+	_ = mayFail() // want droppederror
+}
+
+func bad2() int {
+	v, _ := pair() // want droppederror
+	return v
+}
+
+func bad3() {
+	_, _ = pair() // want droppederror
+}
+
+func okBool() int {
+	v, _ := lookup() // dropping a bool is fine
+	return v
+}
+
+func okHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_, err := pair()
+	return err
+}
+
+func allowed() {
+	//lint:allow droppederror fixture: error intentionally dropped
+	_ = mayFail()
+}

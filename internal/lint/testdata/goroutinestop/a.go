@@ -1,0 +1,97 @@
+// Package fixture exercises the goroutinestop analyzer: goroutines running
+// an unbounded loop need a stop channel, context, or WaitGroup tie-down.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type W struct {
+	stop chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+func process() bool { return true }
+
+func (w *W) leak() {
+	go func() { // want goroutinestop
+		for {
+			process()
+		}
+	}()
+}
+
+func (w *W) stopChannel() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func (w *W) waitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			if !process() {
+				return
+			}
+		}
+	}()
+}
+
+func (w *W) rangeOverChannel() {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (w *W) contextLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			process()
+		}
+	}()
+}
+
+func (w *W) namedMethod() {
+	go w.pollForever() // want goroutinestop
+}
+
+func (w *W) pollForever() {
+	for {
+		process()
+	}
+}
+
+func (w *W) bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			process()
+		}
+	}()
+}
+
+func (w *W) allowed() {
+	//lint:allow goroutinestop fixture: documented leak
+	go func() {
+		for {
+			process()
+		}
+	}()
+}

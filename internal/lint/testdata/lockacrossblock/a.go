@@ -1,0 +1,60 @@
+// Package fixture exercises the lockacrossblock analyzer: channel
+// operations and blocking selects while a mutex is held are findings;
+// non-blocking selects and operations outside the critical section are not.
+package fixture
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want lockacrossblock
+}
+
+func (s *S) recvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want lockacrossblock
+	s.mu.Unlock()
+	return v
+}
+
+func (s *S) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want lockacrossblock
+	case <-s.ch:
+	}
+}
+
+func (s *S) trySendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // non-blocking: has a default clause
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *S) sendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 // lock already released
+}
+
+func (s *S) sendBeforeLock() {
+	s.ch <- 1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (s *S) allowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockacrossblock fixture: suppression is intentional here
+	s.ch <- 1
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the lockbalance analyzer: a Lock() needs a
+// deferred Unlock() or an Unlock() before every return; RLock pairs with
+// RUnlock, not Unlock.
+package fixture
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *T) deferred() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+}
+
+func (t *T) deferredClosure() {
+	t.mu.Lock()
+	defer func() { t.mu.Unlock() }()
+	t.n++
+}
+
+func (t *T) linear() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *T) earlyUnlockReturn(b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+		return
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *T) neverUnlocked() {
+	t.mu.Lock() // want lockbalance
+	t.n++
+}
+
+func (t *T) leakyReturn(b bool) int {
+	t.mu.Lock()
+	if b {
+		return t.n // want lockbalance
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+func (t *T) allowedHandoff() {
+	//lint:allow lockbalance fixture: lock intentionally handed to the caller
+	t.mu.Lock()
+}
+
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *R) readBalanced() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func (r *R) kindMismatch() {
+	r.mu.Lock() // want lockbalance
+	r.n++
+	r.mu.RUnlock()
+}

@@ -1,0 +1,13 @@
+// Package mq is a stand-in blocking queue layer for the lockacrossblock
+// module fixture: the test configures it as a BlockingPkg so calls into it
+// from the worker package count as blocking operations.
+package mq
+
+type Topic struct{}
+
+func Dial() *Topic { return &Topic{} }
+
+func (t *Topic) Publish(b []byte) error {
+	_ = b
+	return nil
+}

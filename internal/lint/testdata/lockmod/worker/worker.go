@@ -1,0 +1,31 @@
+// Package worker exercises the cross-package half of lockacrossblock:
+// calling into a configured blocking package (lockmod/mq) while holding a
+// mutex is a finding; the same call after releasing the lock is not.
+package worker
+
+import (
+	"sync"
+
+	"lockmod/mq"
+)
+
+type W struct {
+	mu    sync.Mutex
+	topic *mq.Topic
+	buf   [][]byte
+}
+
+func New() *W { return &W{topic: mq.Dial()} }
+
+func (w *W) publishUnderLock(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.topic.Publish(b) // want lockacrossblock
+}
+
+func (w *W) publishAfterCopy(b []byte) error {
+	w.mu.Lock()
+	w.buf = append(w.buf, b)
+	w.mu.Unlock()
+	return w.topic.Publish(b)
+}

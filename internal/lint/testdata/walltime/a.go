@@ -1,0 +1,35 @@
+// Package fixture exercises the walltime analyzer: direct wall-clock reads
+// and global math/rand calls are findings in deterministic packages;
+// injected clocks and explicitly seeded RNGs are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want walltime
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want walltime
+}
+
+func draw() int {
+	return rand.Intn(10) // want walltime
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are replay-safe
+	return rng.Intn(10)
+}
+
+func injected(now func() time.Time) int64 {
+	return now().UnixNano()
+}
+
+func allowed() time.Time {
+	//lint:allow walltime fixture: wall clock justified here
+	return time.Now()
+}

@@ -1,0 +1,7 @@
+package fixture
+
+import wall "time"
+
+func aliased() wall.Time {
+	return wall.Now() // want walltime
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Walltime flags direct wall-clock reads (time.Now / Since / Until) and
+// global math/rand calls inside the deterministic packages — the sampling,
+// codec and checkpoint/replay paths whose byte-identical replay the §5/§6
+// correctness argument depends on. Those paths must take an injected clock
+// (internal/clock) or an explicitly seeded rand.Rand so that replaying a
+// checkpoint reproduces the same reservoir decisions.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall clock or unseeded global rand in deterministic code",
+	Run:  runWalltime,
+}
+
+// wallTimeFuncs are the time-package functions that read the wall clock.
+var wallTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand constructors that take an explicit
+// source or seed and are therefore replay-safe; every other package-level
+// rand function draws from the unseeded global source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+func runWalltime(pass *Pass) {
+	deterministic := false
+	for _, sub := range pass.Opts.DeterministicPkgs {
+		if strings.Contains(pass.Pkg.PkgPath, sub) {
+			deterministic = true
+			break
+		}
+	}
+	if !deterministic {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		imports := importNames(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel, imports)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && wallTimeFuncs[sel.Sel.Name]:
+				pass.Reportf(call.Pos(), "time.%s in deterministic package %s; take an injected clock (internal/clock) instead",
+					sel.Sel.Name, pass.Pkg.PkgPath)
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !seededRandFuncs[sel.Sel.Name]:
+				pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s; use an explicitly seeded *rand.Rand",
+					sel.Sel.Name, pass.Pkg.PkgPath)
+			}
+			return true
+		})
+	}
+}
+
+// importNames maps the identifier a file uses for each import to the
+// imported path ("t" -> "time" for `import t "time"`).
+func importNames(file *ast.File) map[string]string {
+	m := make(map[string]string)
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		} else {
+			name = path
+		}
+		if name != "_" && name != "." {
+			m[name] = path
+		}
+	}
+	return m
+}
+
+// packageQualifier resolves sel.X to an imported package path, preferring
+// type information and falling back to the file's import table so the
+// check still works in files with type errors.
+func packageQualifier(pass *Pass, sel *ast.SelectorExpr, imports map[string]string) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if obj, ok := pass.Pkg.Info.Uses[id]; ok {
+		if pkgName, ok := obj.(*types.PkgName); ok {
+			return pkgName.Imported().Path(), true
+		}
+		return "", false // a variable, not a package qualifier
+	}
+	path, ok := imports[id.Name]
+	return path, ok
+}

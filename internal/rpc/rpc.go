@@ -268,6 +268,7 @@ func Dial(addr string) (*Client, error) {
 		tc.SetNoDelay(true)
 	}
 	c := &Client{conn: conn, pending: make(map[uint64]chan result)}
+	//lint:allow goroutinestop readLoop exits when the connection closes: Close() tears down conn, which unblocks readFrame with an error
 	go c.readLoop()
 	return c, nil
 }
@@ -300,11 +301,18 @@ func (c *Client) failAll(err error) {
 	if c.closed.Load() {
 		err = ErrClosed
 	}
+	// Detach the pending set under the lock, deliver after releasing it:
+	// each result channel is buffered so the sends cannot block, but
+	// holding a mutex across channel sends is the pattern the
+	// lockacrossblock analyzer bans, and the detached form needs no
+	// exemption. Calls registering after the swap fail on their own write
+	// to the broken connection.
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for id, ch := range c.pending {
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.mu.Unlock()
+	for _, ch := range pending {
 		ch <- result{err: err}
-		delete(c.pending, id)
 	}
 }
 

@@ -22,7 +22,7 @@ const checkpointMagic = "HELIOS-SAW-v1"
 
 // Checkpoint writes the worker state to w. The worker must be started.
 func (w *Worker) Checkpoint(out io.Writer) error {
-	if !w.started {
+	if !w.started.Load() {
 		return fmt.Errorf("sampler: checkpoint requires a started worker")
 	}
 	cw := codec.NewWriter(1 << 16)
@@ -117,7 +117,7 @@ func (w *Worker) snapshotShard(st *shard) []byte {
 // Entries are redistributed across the current shard count, so a worker may
 // restart with a different SampleThreads setting.
 func (w *Worker) Restore(in io.Reader) error {
-	if w.started {
+	if w.started.Load() {
 		return fmt.Errorf("sampler: restore requires a stopped worker")
 	}
 	data, err := io.ReadAll(in)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/graph"
 	"helios/internal/mq"
@@ -141,15 +142,17 @@ func TestInDirectionHop(t *testing.T) {
 }
 
 // TestWorkerTTLSweepEmitsEvictions: expired reservoirs push SampleEvict to
-// their subscribers.
+// their subscribers. The worker takes a fake clock, so the test advances
+// time past the TTL and triggers the sweep directly instead of sleeping.
 func TestWorkerTTLSweepEmitsEvictions(t *testing.T) {
 	b := mq.NewBroker(mq.Options{})
 	defer b.Close()
 	s, _ := testSchema()
+	fake := clock.NewFake()
 	w, err := New(Config{
 		ID: 0, NumSamplers: 1, NumServers: 1,
 		Plans: []*query.Plan{testPlan(t, s)}, Schema: s, Broker: b,
-		TTL: 80 * time.Millisecond, Seed: 1,
+		TTL: time.Hour, Seed: 1, Clock: fake,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,15 +162,11 @@ func TestWorkerTTLSweepEmitsEvictions(t *testing.T) {
 	ingestEdge(t, b, 1, graph.Edge{Src: 1, Dst: 2, Type: 0, Ts: 1})
 	drainQuiesce(t, b, w)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if w.Stats().Expired > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("TTL sweep never expired the reservoir")
-		}
-		time.Sleep(10 * time.Millisecond)
+	fake.Advance(2 * time.Hour)
+	w.Sweep()
+	drainQuiesce(t, b, w)
+	if w.Stats().Expired == 0 {
+		t.Fatal("TTL sweep never expired the reservoir")
 	}
 	msgs, _ := drainQueue(t, b, 0)
 	foundEvict := false

@@ -2,7 +2,6 @@ package sampler
 
 import (
 	"math/rand"
-	"time"
 
 	"helios/internal/graph"
 	"helios/internal/query"
@@ -85,7 +84,7 @@ func (w *Worker) subscribersOf(st *shard, h query.OneHop, v graph.VertexID) (imp
 // admission.
 func (w *Worker) onEdge(st *shard, ev event) {
 	e := ev.update.Edge
-	now := time.Now().UnixNano()
+	now := w.cfg.Clock.Now().UnixNano()
 	for _, h := range w.byEdge[e.Type] {
 		if e.Origin(h.oneHop.Dir) != ev.origin {
 			continue // this event is keyed on the other endpoint
@@ -176,7 +175,7 @@ func (w *Worker) onVertex(st *shard, ev event) {
 		st.features[v.ID] = fe
 	}
 	fe.feat = append(fe.feat[:0], v.Feature...)
-	fe.touch = time.Now().UnixNano()
+	fe.touch = w.cfg.Clock.Now().UnixNano()
 	for sew, cnt := range st.featSubs[v.ID] {
 		if cnt > 0 {
 			w.pushFeature(v.ID, fe, sew, ev.update.Ingested)

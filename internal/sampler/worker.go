@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"helios/internal/actor"
+	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/graph"
 	"helios/internal/metrics"
@@ -59,6 +60,11 @@ type Config struct {
 	TTL time.Duration
 	// Seed makes the randomized strategies reproducible per worker.
 	Seed int64
+	// Clock is the time source for touch stamps and TTL sweeps; nil
+	// defaults to the wall clock. Tests inject a fake so expiry and
+	// recovery are deterministic (no sleeping), and the walltime analyzer
+	// keeps direct time.Now calls out of this package.
+	Clock clock.Clock
 }
 
 func (c *Config) fill() error {
@@ -82,6 +88,9 @@ func (c *Config) fill() error {
 	}
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Wall()
 	}
 	return nil
 }
@@ -134,7 +143,10 @@ type Worker struct {
 	publish             *actor.Pool[outMsg]
 	pollers             *actor.Loop
 	sweeper             *actor.Loop
-	started             bool
+	sweepStop           chan struct{}
+	// started is atomic because the background sweeper reads it (via
+	// Sweep) while Stop clears it from the control goroutine.
+	started atomic.Bool
 
 	updatesProcessed metrics.Counter
 	edgesOffered     metrics.Counter
@@ -222,10 +234,9 @@ func New(cfg Config) (*Worker, error) {
 
 // Start launches the pools and polling loops.
 func (w *Worker) Start() {
-	if w.started {
+	if !w.started.CompareAndSwap(false, true) {
 		return
 	}
-	w.started = true
 	w.publish = actor.NewPool("publish", w.cfg.PublishThreads, w.cfg.MailboxDepth, w.handlePublish)
 	w.sampling = actor.NewPool("sampling", w.cfg.SampleThreads, w.cfg.MailboxDepth, w.handleEvent)
 
@@ -242,26 +253,41 @@ func (w *Worker) Start() {
 		}
 	})
 	if w.cfg.TTL > 0 {
+		w.sweepStop = make(chan struct{})
 		w.sweeper = actor.NewLoop(1, func(int) bool {
-			time.Sleep(w.cfg.TTL / 4)
-			cutoff := time.Now().Add(-w.cfg.TTL).UnixNano()
-			for i := 0; i < w.sampling.Workers(); i++ {
-				w.sampling.SendTo(i, event{kind: evSweep, cutoff: cutoff})
+			select {
+			case <-w.sweepStop:
+				return false
+			case <-time.After(w.cfg.TTL / 4):
 			}
+			w.Sweep()
 			return true
 		})
+	}
+}
+
+// Sweep schedules one TTL sweep pass on every sampling shard, using the
+// worker's clock for the cutoff. The background sweeper calls it every
+// TTL/4; tests with a fake clock call it directly after advancing time.
+func (w *Worker) Sweep() {
+	if !w.started.Load() || w.cfg.TTL <= 0 {
+		return
+	}
+	cutoff := w.cfg.Clock.Now().Add(-w.cfg.TTL).UnixNano()
+	for i := 0; i < w.sampling.Workers(); i++ {
+		w.sampling.SendTo(i, event{kind: evSweep, cutoff: cutoff})
 	}
 }
 
 // Stop drains the pipeline: polling halts, the sampling pool finishes its
 // backlog (publishing as it goes), then the publisher pool drains.
 func (w *Worker) Stop() {
-	if !w.started {
+	if !w.started.CompareAndSwap(true, false) {
 		return
 	}
-	w.started = false
 	w.pollers.Stop()
 	if w.sweeper != nil {
+		close(w.sweepStop)
 		w.sweeper.Stop()
 	}
 	w.sampling.Close()
@@ -349,7 +375,7 @@ func (w *Worker) pollSubs(c mq.Cursor) bool {
 }
 
 func (w *Worker) handlePublish(_ int, m outMsg) {
-	// Best effort: a closed broker during shutdown drops the tail.
+	//lint:allow droppederror best effort by design: a closed broker during shutdown drops the tail
 	_, _ = m.topic.Append(m.partition, m.key, m.payload)
 }
 

@@ -464,6 +464,7 @@ func (w *Worker) CacheEntries() (int, error) { return w.db.Len() }
 // HasSample reports whether the cache holds a sample cell for (hop, v) —
 // introspection for tests and operations tooling.
 func (w *Worker) HasSample(hop query.HopID, v graph.VertexID) bool {
+	//lint:allow droppederror introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
 	ok, _ := w.db.Has(sampleKey(hop, v))
 	return ok
 }
@@ -483,6 +484,7 @@ func (w *Worker) CachedSamples(hop query.HopID, v graph.VertexID) []wire.SampleR
 
 // HasFeature reports whether the cache holds a feature for v.
 func (w *Worker) HasFeature(v graph.VertexID) bool {
+	//lint:allow droppederror introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
 	ok, _ := w.db.Has(featureKey(v))
 	return ok
 }

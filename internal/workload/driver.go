@@ -37,9 +37,9 @@ func ReplayRate(g *Generator, sink Sink, ratePerSec float64, d time.Duration, st
 		return ReplayAll(g, sink)
 	}
 	deadline := time.Now().Add(d)
-	perTick := ratePerSec / 1000.0
 	n := 0
 	carry := 0.0
+	last := time.Now()
 	ticker := time.NewTicker(time.Millisecond)
 	defer ticker.Stop()
 	for time.Now().Before(deadline) {
@@ -48,7 +48,17 @@ func ReplayRate(g *Generator, sink Sink, ratePerSec float64, d time.Duration, st
 			return n, nil
 		case <-ticker.C:
 		}
-		carry += perTick
+		// Credit by elapsed wall time, not tick count: the ticker drops
+		// ticks when the process is slow (race detector, loaded host),
+		// and counting ticks would undershoot the requested rate. Backlog
+		// is capped at one second's worth to bound the catch-up burst
+		// after a long stall.
+		now := time.Now()
+		carry += now.Sub(last).Seconds() * ratePerSec
+		last = now
+		if carry > ratePerSec {
+			carry = ratePerSec
+		}
 		for carry >= 1 {
 			carry--
 			u, ok := g.Next()
