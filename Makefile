@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check
+.PHONY: build vet lint test race check obs-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Boots examples/distributed with an ops listener and asserts /metrics and
+# /traces come back non-empty (see scripts/obs-smoke.sh).
+obs-smoke:
+	bash scripts/obs-smoke.sh
 
 # The tier-1 gate: every PR must leave this green.
 check:

@@ -19,13 +19,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"time"
 
 	"helios/internal/experiments"
+	"helios/internal/obs"
 )
 
 func main() {
@@ -37,7 +40,15 @@ func main() {
 	baseline := flag.Int("baseline-nodes", 4, "distributed baseline partition count")
 	netDelay := flag.Duration("net-delay", 0, "injected per-RPC delay for the baseline (models datacenter RTT)")
 	seed := flag.Int64("seed", 42, "random seed")
+	metricsOut := flag.String("metrics-json", "BENCH", "write a metrics-registry snapshot to <prefix>_<experiment>.json after each experiment (empty = off)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-bench: ops listener: %v", err)
+	}
+	defer ops.Close()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: helios-bench [flags] <experiment>")
@@ -62,6 +73,7 @@ func main() {
 		NetDelay:      *netDelay,
 		Seed:          *seed,
 		Out:           os.Stdout,
+		Metrics:       obs.Default(),
 	}
 
 	type experiment struct {
@@ -137,6 +149,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		if *metricsOut != "" {
+			path := fmt.Sprintf("%s_%s.json", *metricsOut, e.name)
+			if err := writeSnapshot(path, obs.Default().Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "helios-bench %s: metrics snapshot: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(metrics snapshot written to %s)\n\n", path)
+		}
 	}
 	if name == "all" {
 		for _, e := range all {
@@ -152,4 +172,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "helios-bench: unknown experiment %q\n", name)
 	os.Exit(2)
+}
+
+// writeSnapshot dumps the registry snapshot as indented JSON — the same
+// document /metrics?format=json serves, so offline bench runs and live
+// deployments are comparable with the same tooling.
+func writeSnapshot(path string, snap obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

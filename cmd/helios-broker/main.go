@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/rpc"
 )
 
@@ -22,14 +23,24 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
 	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
+	broker.RegisterMetrics(obs.Default())
 	srv := rpc.NewServer()
 	mq.ServeBroker(broker, srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("helios-broker: %v", err)
+	}
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-broker: ops listener: %v", err)
+	}
+	defer ops.Close()
+	if ops != nil {
+		log.Printf("helios-broker: ops on %s", ops.Addr())
 	}
 	log.Printf("helios-broker: serving on %s (dir=%q retain=%d)", addr, *dir, *retain)
 

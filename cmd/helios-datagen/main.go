@@ -15,6 +15,7 @@ import (
 	"log"
 	"strings"
 
+	"helios/internal/obs"
 	"helios/internal/streamfile"
 	"helios/internal/workload"
 )
@@ -25,7 +26,14 @@ func main() {
 	out := flag.String("out", "", "write length-framed update stream to this file")
 	stats := flag.Bool("stats", false, "print Table 1-style statistics")
 	seed := flag.Int64("seed", 0, "override the dataset's default seed (0 keeps it)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-datagen: ops listener: %v", err)
+	}
+	defer ops.Close()
 
 	var spec workload.DatasetSpec
 	switch strings.ToUpper(*dataset) {

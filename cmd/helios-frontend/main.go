@@ -17,6 +17,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/frontend"
 	"helios/internal/mq"
+	"helios/internal/obs"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
 	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, in worker-ID order")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	cfg, err := deploy.Load(*configPath)
@@ -45,6 +47,15 @@ func main() {
 		log.Fatalf("helios-frontend: %v", err)
 	}
 	defer fe.Close()
+	fe.UseObs(nil, obs.Default(), obs.DefaultTracer())
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-frontend: ops listener: %v", err)
+	}
+	defer ops.Close()
+	if ops != nil {
+		log.Printf("helios-frontend: ops on %s", ops.Addr())
+	}
 
 	log.Printf("helios-frontend: HTTP on %s routing to %d serving workers", *listen, len(addrs))
 	log.Fatal(http.ListenAndServe(*listen, fe.Handler()))

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"helios/internal/lint"
+	"helios/internal/obs"
 )
 
 func main() {
@@ -42,8 +43,16 @@ func run() int {
 		disable = flag.String("disable", "", "comma-separated analyzers to skip")
 		list    = flag.Bool("list", false, "print the available analyzers and exit")
 		dir     = flag.String("C", "", "module directory (default: walk up from cwd to go.mod)")
+		opsAddr = flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helios-lint: ops listener:", err)
+		return 2
+	}
+	defer ops.Close()
 
 	if *list {
 		for _, a := range lint.Analyzers() {

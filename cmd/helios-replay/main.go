@@ -20,6 +20,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/graph"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/streamfile"
 	"helios/internal/wire"
 )
@@ -29,10 +30,17 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
 	in := flag.String("in", "", "update stream file (required)")
 	rate := flag.Float64("rate", 0, "updates per second (0 = as fast as possible)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("helios-replay: -in is required")
 	}
+
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-replay: ops listener: %v", err)
+	}
+	defer ops.Close()
 
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"helios/internal/deploy"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/sampler"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling RNG seed")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	cfg, err := deploy.Load(*configPath)
@@ -53,9 +55,18 @@ func main() {
 		PublishThreads: *publishThreads,
 		TTL:            cfg.TTL,
 		Seed:           *seed,
+		Metrics:        obs.Default(),
 	})
 	if err != nil {
 		log.Fatalf("helios-sampler: %v", err)
+	}
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-sampler: ops listener: %v", err)
+	}
+	defer ops.Close()
+	if ops != nil {
+		log.Printf("helios-sampler: ops on %s", ops.Addr())
 	}
 	if *checkpoint != "" {
 		if err := w.RestoreFile(*checkpoint); err == nil {

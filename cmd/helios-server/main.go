@@ -18,6 +18,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/kvstore"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/rpc"
 	"helios/internal/serving"
 )
@@ -31,6 +32,7 @@ func main() {
 	cacheBudget := flag.Int64("cache-mem", 0, "cache memory budget in bytes before spilling (0 = default)")
 	serveThreads := flag.Int("serve-threads", 0, "serving actor count (0 = default)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	cfg, err := deploy.Load(*configPath)
@@ -51,9 +53,19 @@ func main() {
 		Store:        kvstore.Options{Dir: *cacheDir, MemBudgetBytes: *cacheBudget},
 		ServeThreads: *serveThreads,
 		TTL:          cfg.TTL,
+		Metrics:      obs.Default(),
+		Tracer:       obs.DefaultTracer(),
 	})
 	if err != nil {
 		log.Fatalf("helios-server: %v", err)
+	}
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatalf("helios-server: ops listener: %v", err)
+	}
+	defer ops.Close()
+	if ops != nil {
+		log.Printf("helios-server: ops on %s", ops.Addr())
 	}
 	w.Start()
 

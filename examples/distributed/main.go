@@ -14,6 +14,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/frontend"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/rpc"
 	"helios/internal/sampler"
 	"helios/internal/serving"
@@ -42,13 +44,31 @@ const clusterConfig = `{
 }`
 
 func main() {
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	linger := flag.Duration("linger", 0, "keep the deployment alive this long after the demo (for ops scraping)")
+	flag.Parse()
+
 	cfg, err := deploy.Parse([]byte(clusterConfig))
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Every "process" below shares the demo's registry and tracer, so the
+	// ops listener sees the whole pipeline.
+	reg := obs.Default()
+	tracer := obs.DefaultTracer()
+	ops, err := obs.ServeDefault(*opsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	if ops != nil {
+		fmt.Println("ops listening on", ops.Addr())
+	}
+
 	// --- helios-broker ---
 	broker := mq.NewBroker(mq.Options{})
+	broker.RegisterMetrics(reg)
 	brokerSrv := rpc.NewServer()
 	mq.ServeBroker(broker, brokerSrv)
 	brokerAddr, err := brokerSrv.Listen("127.0.0.1:0")
@@ -69,6 +89,7 @@ func main() {
 		w, err := sampler.New(sampler.Config{
 			ID: i, NumSamplers: cfg.File.Samplers, NumServers: cfg.File.Servers,
 			Plans: cfg.Plans, Schema: cfg.Schema, Broker: bus, Seed: int64(i),
+			Metrics: reg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -88,6 +109,7 @@ func main() {
 		defer bus.Close()
 		w, err := serving.New(serving.Config{
 			ID: i, NumServers: cfg.File.Servers, Plans: cfg.Plans, Broker: bus,
+			Metrics: reg, Tracer: tracer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -116,6 +138,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fe.Close()
+	fe.UseObs(nil, reg, tracer)
 	gwSrv := &http.Server{Handler: fe.Handler()}
 	ln, err := listen()
 	if err != nil {
@@ -169,6 +192,10 @@ func main() {
 		time.Sleep(20 * time.Millisecond)
 	}
 	fmt.Println("distributed topology demo complete")
+	if *linger > 0 {
+		fmt.Printf("lingering %s for ops scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 // listen binds an ephemeral loopback port for the HTTP gateway.

@@ -14,12 +14,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/coord"
 	"helios/internal/graph"
 	"helios/internal/kvstore"
 	"helios/internal/metrics"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/sampler"
 	"helios/internal/serving"
@@ -56,6 +58,16 @@ type LocalConfig struct {
 	Seed int64
 	// Namespace prefixes topic names.
 	Namespace string
+	// Clock is the time source for every worker and for ingestion stamps;
+	// nil defaults to the wall clock. Tests inject a fake so staleness and
+	// latency assertions never sleep.
+	Clock clock.Clock
+	// Metrics receives every worker's metrics; nil gives each worker a
+	// private registry.
+	Metrics *obs.Registry
+	// Tracer records request traces across the cluster's workers; nil
+	// gives each worker a private tracer.
+	Tracer *obs.Tracer
 }
 
 // Local is an in-process Helios cluster.
@@ -92,6 +104,9 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 	}
 	if cfg.ServerReplicas <= 0 {
 		cfg.ServerReplicas = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall()
 	}
 	c := &Local{
 		Broker:    mq.NewBroker(cfg.Broker),
@@ -140,6 +155,8 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 			MailboxDepth:   cfg.MailboxDepth,
 			TTL:            cfg.TTL,
 			Seed:           cfg.Seed,
+			Clock:          cfg.Clock,
+			Metrics:        cfg.Metrics,
 		})
 		if err != nil {
 			c.Close()
@@ -165,6 +182,9 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 				ServeThreads:  cfg.ServeThreads,
 				MailboxDepth:  cfg.MailboxDepth,
 				TTL:           cfg.TTL,
+				Clock:         cfg.Clock,
+				Metrics:       cfg.Metrics,
+				Tracer:        cfg.Tracer,
 			})
 			if err != nil {
 				c.Close()
@@ -187,10 +207,12 @@ func (c *Local) Plans() []*query.Plan { return c.plans }
 
 // Ingest stamps and routes one graph update to the sampling partitions that
 // need it (vertex owner, or edge origin owners per registered directions).
+// A pre-assigned u.Trace survives the stamping, so callers can follow a
+// traced update into the serving caches.
 func (c *Local) Ingest(u graph.Update) error {
 	u.Seq = uint64(c.seq.Value())
 	c.seq.Inc()
-	u.Ingested = time.Now().UnixNano()
+	u.Ingested = c.cfg.Clock.Now().UnixNano()
 	payload := codec.EncodeUpdate(u)
 	switch u.Kind {
 	case graph.UpdateVertex:

@@ -15,6 +15,7 @@ func AppendUpdate(w *Writer, u graph.Update) {
 	w.Byte(byte(u.Kind))
 	w.Uvarint(u.Seq)
 	w.Varint(u.Ingested)
+	w.Uvarint(u.Trace)
 	switch u.Kind {
 	case graph.UpdateVertex:
 		w.Uvarint(uint64(u.Vertex.ID))
@@ -42,6 +43,7 @@ func ReadUpdate(r *Reader) (graph.Update, error) {
 	u.Kind = graph.UpdateKind(r.Byte())
 	u.Seq = r.Uvarint()
 	u.Ingested = r.Varint()
+	u.Trace = r.Uvarint()
 	switch u.Kind {
 	case graph.UpdateVertex:
 		u.Vertex.ID = graph.VertexID(r.Uvarint())

@@ -16,6 +16,7 @@ import (
 	"helios/internal/cluster"
 	"helios/internal/graph"
 	"helios/internal/graphdb"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/sampling"
 	"helios/internal/workload"
@@ -41,6 +42,10 @@ type Config struct {
 	Seed int64
 	// Out receives the printed tables.
 	Out io.Writer
+	// Metrics, when set, receives every Helios cluster's worker metrics so
+	// the driver can snapshot a whole experiment run (helios-bench passes
+	// obs.Default() and writes BENCH_*.json from it).
+	Metrics *obs.Registry
 }
 
 // Defaults fills unset fields with values that finish in seconds per
@@ -94,6 +99,7 @@ func loadedHelios(cfg Config, spec workload.DatasetSpec, strat sampling.Strategy
 		Schema:   gen.Schema(),
 		Queries:  []query.Query{q},
 		Seed:     cfg.Seed,
+		Metrics:  cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -196,6 +202,7 @@ func newHeliosCluster(cfg Config, gen *workload.Generator, q query.Query) (*clus
 		Schema:   gen.Schema(),
 		Queries:  []query.Query{q},
 		Seed:     cfg.Seed,
+		Metrics:  cfg.Metrics,
 	})
 }
 

@@ -43,6 +43,7 @@ func Fig13(cfg Config) ([]ScalePoint, error) {
 			Queries:       []query.Query{q},
 			SampleThreads: threads,
 			Seed:          cfg.Seed,
+			Metrics:       cfg.Metrics,
 		})
 		if err != nil {
 			return 0, err
@@ -107,6 +108,7 @@ func Fig14(cfg Config) ([]ScalePoint, error) {
 			Queries:      []query.Query{q},
 			ServeThreads: threads,
 			Seed:         cfg.Seed,
+			Metrics:      cfg.Metrics,
 		})
 		if err != nil {
 			return ScalePoint{}, err

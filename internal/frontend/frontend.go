@@ -9,13 +9,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"time"
 
+	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/deploy"
 	"helios/internal/graph"
 	"helios/internal/metrics"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/serving"
 	"helios/internal/wire"
@@ -30,6 +31,10 @@ type Frontend struct {
 	updates  mq.TopicHandle
 	dirs     map[graph.EdgeType][2]bool
 	seq      metrics.Counter
+
+	clk    clock.Clock
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	// Requests / Updates count routed traffic.
 	Requests metrics.Counter
@@ -52,7 +57,11 @@ func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, erro
 		servPart: graph.NewPartitioner(cfg.File.Servers),
 		updates:  updates,
 		dirs:     cfg.EdgeRouting(),
+		clk:      clock.Wall(),
+		reg:      obs.NewRegistry(),
+		tracer:   obs.NewTracer(0, 0),
 	}
+	f.registerMetrics()
 	for _, addr := range servingAddrs {
 		c, err := serving.DialServing(addr, 0)
 		if err != nil {
@@ -64,6 +73,34 @@ func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, erro
 	return f, nil
 }
 
+// UseObs replaces the frontend's observability wiring: binaries pass the
+// process clock, obs.Default() and obs.DefaultTracer() so frontend traffic
+// shows up on the ops listener; tests pass a fake clock. Nil arguments
+// keep the current value. Call before serving traffic.
+func (f *Frontend) UseObs(clk clock.Clock, reg *obs.Registry, tracer *obs.Tracer) {
+	if clk != nil {
+		f.clk = clk
+	}
+	if tracer != nil {
+		f.tracer = tracer
+	}
+	if reg != nil {
+		f.reg = reg
+		f.registerMetrics()
+	}
+}
+
+func (f *Frontend) registerMetrics() {
+	f.reg.CounterFunc("frontend.requests", f.Requests.Value)
+	f.reg.CounterFunc("frontend.updates", f.Updates.Value)
+}
+
+// Tracer returns the frontend's tracer (for tests and ops wiring).
+func (f *Frontend) Tracer() *obs.Tracer { return f.tracer }
+
+// Metrics returns the frontend's registry.
+func (f *Frontend) Metrics() *obs.Registry { return f.reg }
+
 // Close releases the serving connections.
 func (f *Frontend) Close() {
 	for _, c := range f.servers {
@@ -73,11 +110,28 @@ func (f *Frontend) Close() {
 	}
 }
 
-// Ingest stamps and routes one update.
+// Ingest stamps and routes one update. The update stays untraced (unless
+// the caller pre-assigned u.Trace), so bulk ingestion pays no tracing
+// cost downstream.
 func (f *Frontend) Ingest(u graph.Update) error {
 	u.Seq = uint64(f.seq.Value())
 	f.seq.Inc()
-	u.Ingested = time.Now().UnixNano()
+	u.Ingested = f.clk.Now().UnixNano()
+	return f.route(u)
+}
+
+// IngestTraced is Ingest with a trace ID minted for the update (reusing
+// u.Trace if the caller pre-assigned one). The ID travels with the update
+// through sampling into the serving caches, where the refresh it causes
+// is recorded against it.
+func (f *Frontend) IngestTraced(u graph.Update) (uint64, error) {
+	if u.Trace == 0 {
+		u.Trace = f.tracer.NewID()
+	}
+	return u.Trace, f.Ingest(u)
+}
+
+func (f *Frontend) route(u graph.Update) error {
 	payload := codec.EncodeUpdate(u)
 	switch u.Kind {
 	case graph.UpdateVertex:
@@ -110,10 +164,38 @@ func (f *Frontend) Ingest(u graph.Update) error {
 	}
 }
 
-// Sample routes a sampling query to the owning serving worker.
+// Sample routes a sampling query to the owning serving worker (untraced).
 func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
 	f.Requests.Inc()
 	return f.servers[f.servPart.Of(seed)].Sample(qid, seed)
+}
+
+// SampleTraced routes a sampling query with a freshly minted trace ID and
+// records the completed trace: the serving worker's stage spans (queue
+// wait, K-hop assembly, feature fetch) plus the residual RPC transport
+// time, so spans always sum to at most the end-to-end latency.
+func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Result, uint64, error) {
+	f.Requests.Inc()
+	trace := f.tracer.NewID()
+	start := f.clk.Now()
+	res, err := f.servers[f.servPart.Of(seed)].SampleTraced(qid, seed, trace)
+	total := f.clk.Now().Sub(start).Nanoseconds()
+	if err != nil {
+		return nil, trace, err
+	}
+	spans := make([]obs.Span, 0, len(res.Stages)+1)
+	spans = append(spans, res.Stages...)
+	var sum int64
+	for _, s := range spans {
+		sum += s.Dur
+	}
+	if transport := total - sum; transport > 0 {
+		spans = append(spans, obs.Span{Name: "frontend.rpc_transport", Dur: transport})
+	}
+	f.tracer.Record(obs.Trace{
+		ID: trace, Op: "sample", Start: start.UnixNano(), Total: total, Spans: spans,
+	})
+	return res, trace, nil
 }
 
 // HTTP gateway.
@@ -137,6 +219,8 @@ type resultJSON struct {
 	Edges    []edgeOutJSON        `json:"edges"`
 	Features map[string][]float32 `json:"features"`
 	Misses   int                  `json:"misses"`
+	// Trace is the request's trace ID in hex; look it up under /traces.
+	Trace string `json:"trace,omitempty"`
 }
 
 type edgeOutJSON struct {
@@ -202,12 +286,16 @@ func (f *Frontend) Handler() http.Handler {
 			http.Error(w, "bad seed", http.StatusBadRequest)
 			return
 		}
-		res, err := f.Sample(query.ID(qid), graph.VertexID(seed))
+		res, trace, err := f.SampleTraced(query.ID(qid), graph.VertexID(seed))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		out := resultJSON{Features: make(map[string][]float32), Misses: res.SampleMisses + res.FeatureMisses}
+		out := resultJSON{
+			Features: make(map[string][]float32),
+			Misses:   res.SampleMisses + res.FeatureMisses,
+			Trace:    strconv.FormatUint(trace, 16),
+		}
 		for _, layer := range res.Layers {
 			l := make([]uint64, len(layer))
 			for i, v := range layer {
@@ -229,5 +317,10 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok requests=%d updates=%d\n", f.Requests.Value(), f.Updates.Value())
 	})
+	// Ops endpoints on the gateway itself, so a deployment fronted only by
+	// this mux still exposes its registry and traces.
+	ops := obs.Handler(f.reg, f.tracer)
+	mux.Handle("GET /metrics", ops)
+	mux.Handle("GET /traces", ops)
 	return mux
 }

@@ -7,6 +7,7 @@ import (
 	"helios/internal/codec"
 	"helios/internal/graph"
 	"helios/internal/metrics"
+	"helios/internal/obs"
 	"helios/internal/rpc"
 )
 
@@ -101,6 +102,14 @@ func NewServer(enc *Encoder) *Server {
 	s := &Server{enc: enc, srv: rpc.NewServer()}
 	s.srv.Handle(MethodEmbed, s.handleEmbed)
 	return s
+}
+
+// RegisterMetrics bridges the model server's counters into reg so embed
+// traffic and forward-pass latency show up on the ops listener.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("gnn.requests", s.Requests.Value)
+	reg.GaugeFunc("gnn.embed_latency_ns", func() int64 { return s.Latency.Quantile(0.50) }, "q", "p50")
+	reg.GaugeFunc("gnn.embed_latency_ns", func() int64 { return s.Latency.Quantile(0.99) }, "q", "p99")
 }
 
 // Listen binds the server and returns its address.

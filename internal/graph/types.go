@@ -71,6 +71,10 @@ type Update struct {
 	Edge     Edge
 	Seq      uint64
 	Ingested int64
+	// Trace is the observability trace ID minted when the update entered
+	// the system (0 = untraced); it rides through sampling so the cache
+	// refresh it causes can be attributed to the originating ingest.
+	Trace uint64
 }
 
 // NewVertexUpdate builds a vertex insertion/feature-refresh update.

@@ -23,6 +23,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"helios/internal/metrics"
+	"helios/internal/obs"
 )
 
 // ErrClosed reports use after Close.
@@ -72,6 +75,12 @@ type DB struct {
 
 	flushMu sync.Mutex // serializes flush/compact
 	closed  atomic.Bool
+
+	// Op counters, zero-value ready; bridge them into an obs registry with
+	// RegisterMetrics. Gets counts lookups (Has included), Puts/Deletes
+	// count writes, Flushes/Compactions count runs written by each path.
+	Gets, Puts, Deletes  metrics.Counter
+	Flushes, Compactions metrics.Counter
 }
 
 type shard struct {
@@ -143,6 +152,7 @@ func (db *DB) Put(key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	db.Puts.Inc()
 	s := db.shardFor(key)
 	v := make([]byte, len(value))
 	copy(v, value)
@@ -167,6 +177,7 @@ func (db *DB) Delete(key []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	db.Deletes.Inc()
 	s := db.shardFor(key)
 	k := string(key)
 	s.mu.Lock()
@@ -187,6 +198,7 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
 	}
+	db.Gets.Inc()
 	s := db.shardFor(key)
 	s.mu.RLock()
 	e, hit := s.m[string(key)]
@@ -234,6 +246,20 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 func (db *DB) Has(key []byte) (bool, error) {
 	_, ok, err := db.Get(key)
 	return ok, err
+}
+
+// RegisterMetrics bridges the store's op counters and size gauges into reg
+// under kvstore.* names, tagged with the given label pairs (e.g.
+// "store", "cache") so multiple stores in one process stay distinguishable.
+func (db *DB) RegisterMetrics(reg *obs.Registry, labels ...string) {
+	reg.CounterFunc("kvstore.gets", db.Gets.Value, labels...)
+	reg.CounterFunc("kvstore.puts", db.Puts.Value, labels...)
+	reg.CounterFunc("kvstore.deletes", db.Deletes.Value, labels...)
+	reg.CounterFunc("kvstore.flushes", db.Flushes.Value, labels...)
+	reg.CounterFunc("kvstore.compactions", db.Compactions.Value, labels...)
+	reg.GaugeFunc("kvstore.mem_bytes", db.MemBytes, labels...)
+	reg.GaugeFunc("kvstore.disk_bytes", db.DiskBytes, labels...)
+	reg.GaugeFunc("kvstore.runs", func() int64 { return int64(db.NumRuns()) }, labels...)
 }
 
 // MemBytes returns the approximate memtable size.
@@ -340,6 +366,7 @@ func (db *DB) Flush() error {
 	db.frozen = nil
 	db.frozenMu.Unlock()
 	db.mem.Add(-drained)
+	db.Flushes.Inc()
 	return nil
 }
 
@@ -380,6 +407,7 @@ func (db *DB) Compact() error {
 	for _, o := range old {
 		o.remove()
 	}
+	db.Compactions.Inc()
 	return nil
 }
 

@@ -61,6 +61,7 @@ func DefaultOptions() *Options {
 		DeterministicPkgs: []string{
 			"helios/internal/sampler",
 			"helios/internal/sampling",
+			"helios/internal/serving",
 			"helios/internal/codec",
 			"helios/internal/wire",
 			"helios/internal/streamfile",

@@ -15,8 +15,11 @@ import (
 	"fmt"
 	"sync"
 
+	"strconv"
+
 	"helios/internal/graph"
 	"helios/internal/metrics"
+	"helios/internal/obs"
 )
 
 // ErrClosed reports use of a closed broker or partition.
@@ -59,6 +62,10 @@ type Broker struct {
 	Appended metrics.Counter
 	// Fetched counts records delivered to consumers.
 	Fetched metrics.Counter
+
+	// reg, once set by RegisterMetrics, receives per-partition end-offset
+	// gauges for every topic, including ones created later.
+	reg *obs.Registry
 }
 
 // NewBroker returns an empty broker.
@@ -97,7 +104,37 @@ func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
 		t.parts = append(t.parts, p)
 	}
 	b.topics[name] = t
+	if b.reg != nil {
+		registerTopicGauges(b.reg, t)
+	}
 	return t, nil
+}
+
+// RegisterMetrics bridges the broker's counters into reg and publishes a
+// per-partition log-end-offset gauge for every topic (current and future),
+// so consumer lag is computable from any scrape.
+func (b *Broker) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("mq.appended", b.Appended.Value)
+	reg.CounterFunc("mq.fetched", b.Fetched.Value)
+	b.mu.Lock()
+	b.reg = reg
+	topics := make([]*Topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	for _, t := range topics {
+		registerTopicGauges(reg, t)
+	}
+}
+
+func registerTopicGauges(reg *obs.Registry, t *Topic) {
+	for i := range t.parts {
+		part := i
+		reg.GaugeFunc("mq.end_offset",
+			func() int64 { return t.NextOffset(part) },
+			"topic", t.name, "partition", strconv.Itoa(part))
+	}
 }
 
 // Topic returns a topic by name.
@@ -196,4 +233,14 @@ func (t *Topic) NextOffset(partitionIdx int) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.next
+}
+
+// EndOffset returns the partition's log-end offset: one past the last
+// appended record (Kafka's LEO). It equals NextOffset and exists so lag
+// computations — EndOffset minus a consumer's Committed offset — read as
+// the standard formula without reaching into broker internals. For an
+// empty partition both are 0, and for a partition holding offsets
+// [0, n) both are n; the last *delivered* record has offset EndOffset-1.
+func (t *Topic) EndOffset(partitionIdx int) int64 {
+	return t.NextOffset(partitionIdx)
 }

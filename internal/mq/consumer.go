@@ -30,10 +30,18 @@ func (c *Consumer) Poll(max int, wait time.Duration) ([]Record, error) {
 // Offset returns the cursor position (the offset the next Poll starts at).
 func (c *Consumer) Offset() int64 { return c.offset }
 
+// Committed returns the consumer's committed offset in Kafka's
+// convention: the offset of the next record to be read, i.e. one past
+// the last delivered record. A consumer that has delivered records
+// [0, k) reports Committed() == k — NOT k-1; lag is then
+// EndOffset - Committed with no off-by-one adjustment.
+func (c *Consumer) Committed() int64 { return c.offset }
+
 // SeekTo moves the cursor.
 func (c *Consumer) SeekTo(offset int64) { c.offset = offset }
 
-// Lag reports how many records remain ahead of the cursor.
+// Lag reports how many records remain ahead of the cursor
+// (EndOffset - Committed).
 func (c *Consumer) Lag() int64 {
-	return c.topic.NextOffset(c.partition) - c.offset
+	return c.topic.EndOffset(c.partition) - c.offset
 }

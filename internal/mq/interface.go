@@ -24,12 +24,18 @@ type TopicHandle interface {
 	// retained records of the partition.
 	NextOffset(partition int) int64
 	Depth(partition int) int64
+	// EndOffset reports the log-end offset (== NextOffset, Kafka's LEO);
+	// consumer lag is EndOffset - Cursor.Committed.
+	EndOffset(partition int) int64
 }
 
 // Cursor is an offset-tracked consumer of one partition.
 type Cursor interface {
 	Poll(max int, wait time.Duration) ([]Record, error)
 	Offset() int64
+	// Committed reports the offset of the next record to read (one past
+	// the last delivered record) — Kafka's committed-offset convention.
+	Committed() int64
 	SeekTo(offset int64)
 	Lag() int64
 }

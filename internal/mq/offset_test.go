@@ -1,0 +1,78 @@
+package mq
+
+import "testing"
+
+// TestOffsetSemantics pins the offset bookkeeping conventions so an
+// off-by-one between "next offset" and "last delivered" cannot creep in:
+// EndOffset is one past the last appended record (Kafka's LEO),
+// Committed is one past the last delivered record, and lag is the plain
+// difference of the two with no ±1 adjustment anywhere.
+func TestOffsetSemantics(t *testing.T) {
+	b := NewBroker(Options{})
+	defer b.Close()
+	topic, err := b.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty partition: everything is zero.
+	if topic.EndOffset(0) != 0 || topic.NextOffset(0) != 0 {
+		t.Fatalf("empty partition: EndOffset=%d NextOffset=%d, want 0/0",
+			topic.EndOffset(0), topic.NextOffset(0))
+	}
+	c := topic.NewConsumer(0, 0)
+	if c.Committed() != 0 || c.Lag() != 0 {
+		t.Fatalf("empty partition: Committed=%d Lag=%d, want 0/0", c.Committed(), c.Lag())
+	}
+
+	// Append 5 records; offsets must be 0..4 and EndOffset 5.
+	for i := 0; i < 5; i++ {
+		off, err := topic.Append(0, uint64(i), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i) {
+			t.Fatalf("append %d got offset %d", i, off)
+		}
+	}
+	if topic.EndOffset(0) != 5 {
+		t.Fatalf("EndOffset = %d after 5 appends, want 5", topic.EndOffset(0))
+	}
+	if c.Lag() != 5 {
+		t.Fatalf("Lag = %d with nothing consumed, want 5", c.Lag())
+	}
+
+	// Deliver 3: committed must be one PAST the last delivered record.
+	recs, err := c.Poll(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("polled %d records, want 3", len(recs))
+	}
+	last := recs[len(recs)-1].Offset
+	if last != 2 {
+		t.Fatalf("last delivered offset = %d, want 2", last)
+	}
+	if c.Committed() != last+1 {
+		t.Fatalf("Committed = %d, want last delivered + 1 = %d (off-by-one)", c.Committed(), last+1)
+	}
+	if got := topic.EndOffset(0) - c.Committed(); got != 2 || c.Lag() != 2 {
+		t.Fatalf("lag = EndOffset-Committed = %d, Lag() = %d, want 2/2", got, c.Lag())
+	}
+
+	// Drain: lag hits exactly zero (not -1 or 1), and a re-poll at the
+	// committed offset returns nothing rather than redelivering.
+	if recs, err = c.Poll(10, 0); err != nil || len(recs) != 2 {
+		t.Fatalf("drain: %d records, err %v, want 2/nil", len(recs), err)
+	}
+	if c.Committed() != 5 || c.Lag() != 0 {
+		t.Fatalf("drained: Committed=%d Lag=%d, want 5/0", c.Committed(), c.Lag())
+	}
+	if recs, err = c.Poll(10, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("poll past end redelivered %d records (err %v)", len(recs), err)
+	}
+	if c.Committed() != 5 {
+		t.Fatalf("empty poll moved Committed to %d", c.Committed())
+	}
+}

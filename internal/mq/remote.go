@@ -191,6 +191,11 @@ func (t *RemoteTopic) NextOffset(partition int) int64 {
 	return next
 }
 
+// EndOffset implements TopicHandle (== NextOffset; see Topic.EndOffset).
+func (t *RemoteTopic) EndOffset(partition int) int64 {
+	return t.NextOffset(partition)
+}
+
 // Depth implements TopicHandle.
 func (t *RemoteTopic) Depth(partition int) int64 {
 	_, depth := t.meta(partition)
@@ -258,12 +263,15 @@ func (c *RemoteConsumer) Poll(max int, wait time.Duration) ([]Record, error) {
 // Offset implements Cursor.
 func (c *RemoteConsumer) Offset() int64 { return c.offset }
 
+// Committed implements Cursor (see Consumer.Committed).
+func (c *RemoteConsumer) Committed() int64 { return c.offset }
+
 // SeekTo implements Cursor.
 func (c *RemoteConsumer) SeekTo(offset int64) { c.offset = offset }
 
-// Lag implements Cursor.
+// Lag implements Cursor (EndOffset - Committed).
 func (c *RemoteConsumer) Lag() int64 {
-	return c.topic.NextOffset(c.partition) - c.offset
+	return c.topic.EndOffset(c.partition) - c.offset
 }
 
 var (

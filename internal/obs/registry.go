@@ -1,0 +1,260 @@
+// Package obs is the Helios observability layer: a named metrics registry
+// (counters, gauges, histograms with labels), request tracing with
+// per-stage spans, and the ops HTTP endpoints every binary can expose
+// (/metrics, /traces, net/http/pprof).
+//
+// The paper's claims are claims about *where time goes* — pre-sampling
+// moves work to the ingestion path (§5), the query-aware cache bounds
+// serving to a fixed number of local lookups (§6), and the
+// sampling/serving split isolates ingestion bursts from request latency
+// (§4). The registry and tracer make those decompositions measurable on a
+// live deployment instead of only in the offline experiment harness:
+// per-stage request spans attribute a slow request, MQ consumer-lag and
+// sample-table staleness gauges quantify the §5 freshness story, and
+// cache hit/miss counters validate the §6 locality story.
+//
+// Everything is stdlib-only and built on internal/metrics' lock-free
+// primitives, so registered metrics are safe on the serving hot path.
+// Components never read the wall clock through this package — durations
+// and timestamps are stamped by the caller's injected internal/clock, so
+// unit tests advance a fake clock instead of sleeping.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"helios/internal/metrics"
+)
+
+// Gauge is a settable instantaneous value (last-write-wins), e.g. the
+// event-time staleness of the most recent cache apply. The zero value is
+// ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics. Metric handles are created
+// once (get-or-create by name) and then updated lock-free; the registry
+// mutex guards only the name tables, never the hot update path.
+//
+// Names follow a dotted "component.metric" convention with optional
+// labels: Name("mq.consumer_lag", "topic", t, "partition", "2") renders
+// as `mq.consumer_lag{partition=2,topic=t}` (labels sorted, so the same
+// metric always has one canonical name).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*metrics.Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*metrics.Histogram
+	// fns are read-at-scrape metrics computed from component state
+	// (consumer lag, cache bytes, externally owned counters).
+	counterFns map[string]func() int64
+	gaugeFns   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*metrics.Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*metrics.Histogram),
+		counterFns: make(map[string]func() int64),
+		gaugeFns:   make(map[string]func() int64),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the cmd/ binaries expose on
+// their ops listener. Libraries take an injected *Registry instead and
+// only fall back to a private one, so unit tests never share state.
+func Default() *Registry { return defaultRegistry }
+
+// Name renders a metric name with labels in canonical (sorted) form.
+// Labels are alternating key, value pairs; a trailing odd key is ignored.
+func Name(base string, labels ...string) string {
+	if len(labels) < 2 {
+		return base
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(base string, labels ...string) *metrics.Counter {
+	name := Name(base, labels...)
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &metrics.Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(base string, labels ...string) *Gauge {
+	name := Name(base, labels...)
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(base string, labels ...string) *metrics.Histogram {
+	name := Name(base, labels...)
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &metrics.Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a monotonic value computed at scrape time —
+// the bridge for counters owned by components that predate the registry
+// (broker Appended/Fetched, actor-pool Handled, rpc call counts).
+func (r *Registry) CounterFunc(base string, fn func() int64, labels ...string) {
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers an instantaneous value computed at scrape time
+// (consumer lag, cache bytes, pool depths).
+func (r *Registry) GaugeFunc(base string, fn func() int64, labels ...string) {
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Snapshot is a point-in-time copy of every registered metric, in the
+// shape served by /metrics?format=json and written by helios-bench's
+// BENCH_*.json trajectory files.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
+	Histograms map[string]metrics.Snapshot `json:"histograms"`
+}
+
+// Snapshot captures all metrics. Scrape functions run outside the
+// registry lock would be nicer, but they are cheap atomic loads by
+// convention; keep them inside so a concurrent registration cannot race
+// the map iteration.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)+len(r.counterFns)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
+		Histograms: make(map[string]metrics.Snapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, fn := range r.counterFns {
+		s.Counters[name] = fn()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as sorted `name value` lines — the
+// plain-text /metrics format. Histograms expand into per-quantile lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+6*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, h.Count),
+			fmt.Sprintf("%s_mean %.0f", name, h.Mean),
+			fmt.Sprintf("%s_p50 %d", name, h.P50),
+			fmt.Sprintf("%s_p90 %d", name, h.P90),
+			fmt.Sprintf("%s_p99 %d", name, h.P99),
+			fmt.Sprintf("%s_max %d", name, h.Max))
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON is implemented on the value so /metrics?format=json and
+// helios-bench share one encoding.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"helios/internal/metrics"
 )
 
 // ErrClosed reports use of a closed client or server.
@@ -42,10 +44,16 @@ const (
 // Handler processes one request payload and returns the response payload.
 type Handler func(req []byte) ([]byte, error)
 
+// TracedHandler additionally receives the trace ID carried in the request
+// frame (0 when the caller is untraced). Handlers that time their stages
+// tag the resulting spans with this ID so a frontend-minted trace survives
+// the process hop.
+type TracedHandler func(trace uint64, req []byte) ([]byte, error)
+
 // Server serves registered handlers over TCP.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]TracedHandler
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -54,15 +62,25 @@ type Server struct {
 	// Delay is slept before handling each request, simulating network RTT
 	// for topology experiments. Zero for production use.
 	Delay time.Duration
+
+	// Requests counts request frames dispatched; Errors counts handler
+	// failures (including unknown methods and panics).
+	Requests metrics.Counter
+	Errors   metrics.Counter
 }
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]TracedHandler), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a handler for method, replacing any previous one.
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleTraced(method, func(_ uint64, req []byte) ([]byte, error) { return h(req) })
+}
+
+// HandleTraced registers a trace-aware handler for method.
+func (s *Server) HandleTraced(method string, h TracedHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -118,7 +136,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		typ, id, method, payload, err := readFrame(conn)
+		typ, id, trace, method, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -129,6 +147,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		h := s.handlers[method]
 		delay := s.Delay
 		s.mu.RUnlock()
+		s.Requests.Inc()
 		// Handle concurrently: one slow call must not head-of-line block
 		// the connection.
 		s.wg.Add(1)
@@ -148,16 +167,17 @@ func (s *Server) serveConn(conn net.Conn) {
 							herr = fmt.Errorf("handler panic: %v", r)
 						}
 					}()
-					resp, herr = h(payload)
+					resp, herr = h(trace, payload)
 				}()
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
-				writeFrame(conn, frameError, id, "", []byte(herr.Error()))
+				s.Errors.Inc()
+				writeFrame(conn, frameError, id, trace, "", []byte(herr.Error()))
 				return
 			}
-			writeFrame(conn, frameResponse, id, "", resp)
+			writeFrame(conn, frameResponse, id, trace, "", resp)
 		}()
 	}
 }
@@ -194,12 +214,15 @@ func (s *Server) Close() error {
 
 // frame layout:
 //
-//	uint32 length | byte type | uint64 id | uint16 methodLen | method | payload
-func writeFrame(w io.Writer, typ byte, id uint64, method string, payload []byte) error {
+//	uint32 length | byte type | uint64 id | uint64 trace | uint16 methodLen | method | payload
+//
+// trace is the request's trace ID (0 = untraced); responses echo the
+// request's trace so either side can correlate without a lookup.
+func writeFrame(w io.Writer, typ byte, id, trace uint64, method string, payload []byte) error {
 	if len(method) > 0xffff {
 		return errors.New("rpc: method name too long")
 	}
-	total := 1 + 8 + 2 + len(method) + len(payload)
+	total := 1 + 8 + 8 + 2 + len(method) + len(payload)
 	if total > maxFrame {
 		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", total)
 	}
@@ -207,20 +230,21 @@ func writeFrame(w io.Writer, typ byte, id uint64, method string, payload []byte)
 	binary.BigEndian.PutUint32(buf, uint32(total))
 	buf[4] = typ
 	binary.BigEndian.PutUint64(buf[5:], id)
-	binary.BigEndian.PutUint16(buf[13:], uint16(len(method)))
-	copy(buf[15:], method)
-	copy(buf[15+len(method):], payload)
+	binary.BigEndian.PutUint64(buf[13:], trace)
+	binary.BigEndian.PutUint16(buf[21:], uint16(len(method)))
+	copy(buf[23:], method)
+	copy(buf[23+len(method):], payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(r io.Reader) (typ byte, id uint64, method string, payload []byte, err error) {
+func readFrame(r io.Reader) (typ byte, id, trace uint64, method string, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return
 	}
 	total := binary.BigEndian.Uint32(hdr[:])
-	if total < 11 || total > maxFrame {
+	if total < 19 || total > maxFrame {
 		err = fmt.Errorf("rpc: bad frame length %d", total)
 		return
 	}
@@ -230,13 +254,14 @@ func readFrame(r io.Reader) (typ byte, id uint64, method string, payload []byte,
 	}
 	typ = buf[0]
 	id = binary.BigEndian.Uint64(buf[1:])
-	mlen := int(binary.BigEndian.Uint16(buf[9:]))
-	if 11+mlen > int(total) {
+	trace = binary.BigEndian.Uint64(buf[9:])
+	mlen := int(binary.BigEndian.Uint16(buf[17:]))
+	if 19+mlen > int(total) {
 		err = errors.New("rpc: bad method length")
 		return
 	}
-	method = string(buf[11 : 11+mlen])
-	payload = buf[11+mlen:]
+	method = string(buf[19 : 19+mlen])
+	payload = buf[19+mlen:]
 	return
 }
 
@@ -251,6 +276,11 @@ type Client struct {
 
 	// Delay is slept inside every Call, simulating network RTT.
 	Delay time.Duration
+
+	// Calls counts calls issued; Errors counts calls that returned an
+	// error (remote, transport, or timeout).
+	Calls  metrics.Counter
+	Errors metrics.Counter
 }
 
 type result struct {
@@ -275,7 +305,7 @@ func Dial(addr string) (*Client, error) {
 
 func (c *Client) readLoop() {
 	for {
-		typ, id, _, payload, err := readFrame(c.conn)
+		typ, id, _, _, payload, err := readFrame(c.conn)
 		if err != nil {
 			c.failAll(err)
 			return
@@ -319,9 +349,16 @@ func (c *Client) failAll(err error) {
 // Call invokes method with payload req and waits up to timeout for the
 // response (0 means wait forever).
 func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte, error) {
+	return c.CallTraced(method, 0, req, timeout)
+}
+
+// CallTraced is Call with a trace ID carried in the frame header, so the
+// remote handler (HandleTraced) can tag its spans with the caller's trace.
+func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout time.Duration) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	c.Calls.Inc()
 	if c.Delay > 0 {
 		time.Sleep(c.Delay)
 	}
@@ -332,12 +369,13 @@ func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte,
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, frameRequest, id, method, req)
+	err := writeFrame(c.conn, frameRequest, id, trace, method, req)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.Errors.Inc()
 		return nil, err
 	}
 
@@ -349,11 +387,15 @@ func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte,
 	}
 	select {
 	case res := <-ch:
+		if res.err != nil {
+			c.Errors.Inc()
+		}
 		return res.payload, res.err
 	case <-timer:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.Errors.Inc()
 		return nil, ErrTimeout
 	}
 }

@@ -287,11 +287,11 @@ func TestWriteFrameLimits(t *testing.T) {
 	var sink bytes.Buffer
 	// Method name too long.
 	long := make([]byte, 0x10000)
-	if err := writeFrame(&sink, frameRequest, 1, string(long), nil); err == nil {
+	if err := writeFrame(&sink, frameRequest, 1, 0, string(long), nil); err == nil {
 		t.Fatal("oversized method accepted")
 	}
 	// Payload beyond maxFrame.
-	if err := writeFrame(&sink, frameRequest, 1, "m", make([]byte, maxFrame)); err == nil {
+	if err := writeFrame(&sink, frameRequest, 1, 0, "m", make([]byte, maxFrame)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }
@@ -303,18 +303,18 @@ func TestReadFrameRejectsBadLengths(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr, 5)
 	buf.Write(hdr)
 	buf.Write(make([]byte, 5))
-	if _, _, _, _, err := readFrame(&buf); err == nil {
+	if _, _, _, _, _, err := readFrame(&buf); err == nil {
 		t.Fatal("short frame accepted")
 	}
 	// Method length overrunning the frame.
 	buf.Reset()
-	body := make([]byte, 11)
+	body := make([]byte, 19)
 	binary.BigEndian.PutUint32(hdr, uint32(len(body)))
 	body[0] = frameRequest
-	binary.BigEndian.PutUint16(body[9:], 999)
+	binary.BigEndian.PutUint16(body[17:], 999)
 	buf.Write(hdr)
 	buf.Write(body)
-	if _, _, _, _, err := readFrame(&buf); err == nil {
+	if _, _, _, _, _, err := readFrame(&buf); err == nil {
 		t.Fatal("bad method length accepted")
 	}
 }
@@ -332,5 +332,42 @@ func TestListenBadAddress(t *testing.T) {
 	defer s.Close()
 	if _, err := s.Listen("256.256.256.256:99999"); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+func TestTracePropagation(t *testing.T) {
+	s := NewServer()
+	gotTrace := make(chan uint64, 2)
+	s.HandleTraced("traced", func(trace uint64, req []byte) ([]byte, error) {
+		gotTrace <- trace
+		return req, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const want = uint64(0xfeedface12345678)
+	if _, err := c.CallTraced("traced", want, []byte("x"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-gotTrace; got != want {
+		t.Fatalf("handler saw trace %#x, want %#x", got, want)
+	}
+	// Plain Call carries trace 0 — the untraced hot path stays untraced.
+	if _, err := c.Call("traced", []byte("y"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-gotTrace; got != 0 {
+		t.Fatalf("plain Call leaked trace %#x", got)
+	}
+	if s.Requests.Value() != 2 || c.Calls.Value() != 2 {
+		t.Fatalf("counters: server=%d client=%d, want 2/2", s.Requests.Value(), c.Calls.Value())
 	}
 }

@@ -105,7 +105,7 @@ func (w *Worker) onEdge(st *shard, ev event) {
 				// feature table holds "all the seed and sampled neighbor
 				// vertices"). The feature lives on this same shard (same
 				// key vertex), so the subscription is registered directly.
-				w.applyFeatSubDelta(st, ev.origin, int32(w.servPart.Of(ev.origin)), 1, ev.update.Ingested)
+				w.applyFeatSubDelta(st, ev.origin, int32(w.servPart.Of(ev.origin)), 1, ev.update.Ingested, ev.update.Trace)
 			}
 		}
 		re.touch = now
@@ -115,14 +115,19 @@ func (w *Worker) onEdge(st *shard, ev event) {
 			continue
 		}
 		w.admissions.Inc()
+		if ev.update.Ingested > 0 {
+			// Reservoir refresh staleness: how far behind event time this
+			// worker's sample tables are running (§5 freshness).
+			w.staleness.Set(now - ev.update.Ingested)
+		}
 
 		imp, implicit, subs := w.subscribersOf(st, h.oneHop, ev.origin)
 		if implicit {
-			w.afterAdmission(h, ev.origin, target, re, adm, imp, ev.update.Ingested)
+			w.afterAdmission(h, ev.origin, target, re, adm, imp, ev.update.Ingested, ev.update.Trace)
 		} else {
 			for sew, cnt := range subs {
 				if cnt > 0 {
-					w.afterAdmission(h, ev.origin, target, re, adm, sew, ev.update.Ingested)
+					w.afterAdmission(h, ev.origin, target, re, adm, sew, ev.update.Ingested, ev.update.Trace)
 				}
 			}
 		}
@@ -131,22 +136,22 @@ func (w *Worker) onEdge(st *shard, ev event) {
 
 // afterAdmission pushes the refreshed snapshot to one subscriber and issues
 // the child subscription deltas for the admitted and evicted neighbours.
-func (w *Worker) afterAdmission(h hopInfo, v, admitted graph.VertexID, re *resEntry, adm sampling.Admission, sew int32, ingested int64) {
-	w.pushSnapshot(h.oneHop.ID, v, re, sew, ingested)
-	w.childDeltas(h, admitted, sew, ingested, adm)
+func (w *Worker) afterAdmission(h hopInfo, v, admitted graph.VertexID, re *resEntry, adm sampling.Admission, sew int32, ingested int64, trace uint64) {
+	w.pushSnapshot(h.oneHop.ID, v, re, sew, ingested, trace)
+	w.childDeltas(h, admitted, sew, ingested, trace, adm)
 }
 
 // childDeltas sends ±1 deltas for the admitted/evicted neighbours' features
 // and next-hop samples.
-func (w *Worker) childDeltas(h hopInfo, admitted graph.VertexID, sew int32, ingested int64, adm sampling.Admission) {
-	w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: admitted, SEW: sew, Delta: 1, Ingested: ingested})
+func (w *Worker) childDeltas(h hopInfo, admitted graph.VertexID, sew int32, ingested int64, trace uint64, adm sampling.Admission) {
+	w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: admitted, SEW: sew, Delta: 1, Ingested: ingested, Trace: trace})
 	if h.next != nil {
-		w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: admitted, SEW: sew, Delta: 1, Ingested: ingested})
+		w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: admitted, SEW: sew, Delta: 1, Ingested: ingested, Trace: trace})
 	}
 	if adm.HasEvicted {
-		w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: adm.Evicted.Neighbor, SEW: sew, Delta: -1, Ingested: ingested})
+		w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: adm.Evicted.Neighbor, SEW: sew, Delta: -1, Ingested: ingested, Trace: trace})
 		if h.next != nil {
-			w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: adm.Evicted.Neighbor, SEW: sew, Delta: -1, Ingested: ingested})
+			w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: adm.Evicted.Neighbor, SEW: sew, Delta: -1, Ingested: ingested, Trace: trace})
 		}
 	}
 }
@@ -154,7 +159,7 @@ func (w *Worker) childDeltas(h hopInfo, admitted graph.VertexID, sew int32, inge
 // pushSnapshot sends the full reservoir contents of (hop, v) to sew.
 // Snapshots are idempotent, so replays and reorderings converge (§6's
 // eventual consistency).
-func (w *Worker) pushSnapshot(hop query.HopID, v graph.VertexID, re *resEntry, sew int32, ingested int64) {
+func (w *Worker) pushSnapshot(hop query.HopID, v graph.VertexID, re *resEntry, sew int32, ingested int64, trace uint64) {
 	items := re.res.Items()
 	refs := make([]wire.SampleRef, len(items))
 	for i, s := range items {
@@ -162,7 +167,7 @@ func (w *Worker) pushSnapshot(hop query.HopID, v graph.VertexID, re *resEntry, s
 	}
 	w.snapshotsSent.Inc()
 	w.sendToServer(sew, &wire.Message{
-		Kind: wire.KindSampleUpsert, Hop: hop, Vertex: v, Samples: refs, Ingested: ingested,
+		Kind: wire.KindSampleUpsert, Hop: hop, Vertex: v, Samples: refs, Ingested: ingested, Trace: trace,
 	})
 }
 
@@ -178,17 +183,17 @@ func (w *Worker) onVertex(st *shard, ev event) {
 	fe.touch = w.cfg.Clock.Now().UnixNano()
 	for sew, cnt := range st.featSubs[v.ID] {
 		if cnt > 0 {
-			w.pushFeature(v.ID, fe, sew, ev.update.Ingested)
+			w.pushFeature(v.ID, fe, sew, ev.update.Ingested, ev.update.Trace)
 		}
 	}
 }
 
-func (w *Worker) pushFeature(v graph.VertexID, fe *featEntry, sew int32, ingested int64) {
+func (w *Worker) pushFeature(v graph.VertexID, fe *featEntry, sew int32, ingested int64, trace uint64) {
 	feat := make([]float32, len(fe.feat))
 	copy(feat, fe.feat)
 	w.featuresSent.Inc()
 	w.sendToServer(sew, &wire.Message{
-		Kind: wire.KindFeatureUpdate, Vertex: v, Feature: feat, Ingested: ingested,
+		Kind: wire.KindFeatureUpdate, Vertex: v, Feature: feat, Ingested: ingested, Trace: trace,
 	})
 }
 
@@ -226,23 +231,23 @@ func (w *Worker) onSubDelta(st *shard, ev event) {
 	switch {
 	case prev == 0 && next > 0:
 		if re != nil {
-			w.pushSnapshot(ev.hop, ev.origin, re, ev.sew, ev.ing)
-			w.subscribeChildren(re, h, ev.sew, 1, ev.ing)
+			w.pushSnapshot(ev.hop, ev.origin, re, ev.sew, ev.ing, ev.trace)
+			w.subscribeChildren(re, h, ev.sew, 1, ev.ing, ev.trace)
 		}
 	case prev > 0 && next == 0:
-		w.sendToServer(ev.sew, &wire.Message{Kind: wire.KindSampleEvict, Hop: ev.hop, Vertex: ev.origin, Ingested: ev.ing})
+		w.sendToServer(ev.sew, &wire.Message{Kind: wire.KindSampleEvict, Hop: ev.hop, Vertex: ev.origin, Ingested: ev.ing, Trace: ev.trace})
 		if re != nil {
-			w.subscribeChildren(re, h, ev.sew, -1, ev.ing)
+			w.subscribeChildren(re, h, ev.sew, -1, ev.ing, ev.trace)
 		}
 	}
 }
 
 // subscribeChildren issues ±1 deltas for every current sample of re.
-func (w *Worker) subscribeChildren(re *resEntry, h hopInfo, sew int32, delta int8, ingested int64) {
+func (w *Worker) subscribeChildren(re *resEntry, h hopInfo, sew int32, delta int8, ingested int64, trace uint64) {
 	for _, s := range re.res.Items() {
-		w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: s.Neighbor, SEW: sew, Delta: delta, Ingested: ingested})
+		w.sendSubDelta(&wire.Message{Kind: wire.KindFeatSubDelta, Vertex: s.Neighbor, SEW: sew, Delta: delta, Ingested: ingested, Trace: trace})
 		if h.next != nil {
-			w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: s.Neighbor, SEW: sew, Delta: delta, Ingested: ingested})
+			w.sendSubDelta(&wire.Message{Kind: wire.KindSubDelta, Hop: h.next.ID, Vertex: s.Neighbor, SEW: sew, Delta: delta, Ingested: ingested, Trace: trace})
 		}
 	}
 }
@@ -250,10 +255,10 @@ func (w *Worker) subscribeChildren(re *resEntry, h hopInfo, sew int32, delta int
 // onFeatSubDelta applies a feature-subscription refcount change.
 func (w *Worker) onFeatSubDelta(st *shard, ev event) {
 	w.subDeltasApplied.Inc()
-	w.applyFeatSubDelta(st, ev.origin, ev.sew, ev.delta, ev.ing)
+	w.applyFeatSubDelta(st, ev.origin, ev.sew, ev.delta, ev.ing, ev.trace)
 }
 
-func (w *Worker) applyFeatSubDelta(st *shard, v graph.VertexID, sew int32, delta int8, ingested int64) {
+func (w *Worker) applyFeatSubDelta(st *shard, v graph.VertexID, sew int32, delta int8, ingested int64, trace uint64) {
 	subs := st.featSubs[v]
 	if subs == nil {
 		subs = make(map[int32]int32)
@@ -274,10 +279,10 @@ func (w *Worker) applyFeatSubDelta(st *shard, v graph.VertexID, sew int32, delta
 	switch {
 	case prev == 0 && next > 0:
 		if fe := st.features[v]; fe != nil {
-			w.pushFeature(v, fe, sew, ingested)
+			w.pushFeature(v, fe, sew, ingested, trace)
 		}
 	case prev > 0 && next == 0:
-		w.sendToServer(sew, &wire.Message{Kind: wire.KindFeatureEvict, Vertex: v, Ingested: ingested})
+		w.sendToServer(sew, &wire.Message{Kind: wire.KindFeatureEvict, Vertex: v, Ingested: ingested, Trace: trace})
 	}
 }
 
@@ -294,12 +299,12 @@ func (w *Worker) onSweep(st *shard, cutoff int64) {
 			imp, implicit, subs := w.subscribersOf(st, h.oneHop, v)
 			if implicit {
 				w.sendToServer(imp, &wire.Message{Kind: wire.KindSampleEvict, Hop: hid, Vertex: v})
-				w.subscribeChildren(re, h, imp, -1, 0)
+				w.subscribeChildren(re, h, imp, -1, 0, 0)
 			} else {
 				for sew, cnt := range subs {
 					if cnt > 0 {
 						w.sendToServer(sew, &wire.Message{Kind: wire.KindSampleEvict, Hop: hid, Vertex: v})
-						w.subscribeChildren(re, h, sew, -1, 0)
+						w.subscribeChildren(re, h, sew, -1, 0, 0)
 					}
 				}
 			}

@@ -31,6 +31,7 @@ import (
 	"helios/internal/graph"
 	"helios/internal/metrics"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/wire"
 )
@@ -65,6 +66,10 @@ type Config struct {
 	// recovery are deterministic (no sleeping), and the walltime analyzer
 	// keeps direct time.Now calls out of this package.
 	Clock clock.Clock
+	// Metrics receives this worker's counters and gauges; nil defaults to
+	// a private registry. Binaries pass obs.Default() so the worker shows
+	// up on their ops listener.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -91,6 +96,9 @@ func (c *Config) fill() error {
 	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return nil
 }
@@ -148,14 +156,18 @@ type Worker struct {
 	// Sweep) while Stop clears it from the control goroutine.
 	started atomic.Bool
 
-	updatesProcessed metrics.Counter
-	edgesOffered     metrics.Counter
-	admissions       metrics.Counter
-	snapshotsSent    metrics.Counter
-	featuresSent     metrics.Counter
-	subDeltasSent    metrics.Counter
-	subDeltasApplied metrics.Counter
-	expired          metrics.Counter
+	// Metric handles resolved from cfg.Metrics at construction.
+	updatesProcessed *metrics.Counter
+	edgesOffered     *metrics.Counter
+	admissions       *metrics.Counter
+	snapshotsSent    *metrics.Counter
+	featuresSent     *metrics.Counter
+	subDeltasSent    *metrics.Counter
+	subDeltasApplied *metrics.Counter
+	expired          *metrics.Counter
+	// staleness is the event-time delta between the most recent update's
+	// ingestion and the reservoir refresh it caused (§5 freshness).
+	staleness *obs.Gauge
 }
 
 // event is the sampling pool's message type; exactly one shape per kind.
@@ -173,6 +185,8 @@ type event struct {
 	// checkpoint events
 	snap chan<- []byte
 	ing  int64
+	// trace propagates the causing update's trace ID through the cascade.
+	trace uint64
 }
 
 type eventKind uint8
@@ -229,7 +243,28 @@ func New(cfg Config) (*Worker, error) {
 	for i := range w.shards {
 		w.shards[i] = newShard(rand.NewSource(cfg.Seed + int64(cfg.ID)*1000 + int64(i)))
 	}
+	w.registerMetrics()
 	return w, nil
+}
+
+// registerMetrics resolves the worker's metric handles from the registry
+// and publishes consumer-lag gauges for its two input partitions.
+func (w *Worker) registerMetrics() {
+	reg := w.cfg.Metrics
+	worker := fmt.Sprint(w.cfg.ID)
+	w.updatesProcessed = reg.Counter("sampler.updates_processed", "worker", worker)
+	w.edgesOffered = reg.Counter("sampler.edges_offered", "worker", worker)
+	w.admissions = reg.Counter("sampler.admissions", "worker", worker)
+	w.snapshotsSent = reg.Counter("sampler.snapshots_sent", "worker", worker)
+	w.featuresSent = reg.Counter("sampler.features_sent", "worker", worker)
+	w.subDeltasSent = reg.Counter("sampler.sub_deltas_sent", "worker", worker)
+	w.subDeltasApplied = reg.Counter("sampler.sub_deltas_applied", "worker", worker)
+	w.expired = reg.Counter("sampler.expired", "worker", worker)
+	w.staleness = reg.Gauge("sampler.refresh_staleness_ns", "worker", worker)
+	reg.GaugeFunc("mq.consumer_lag", w.Lag,
+		"topic", wire.TopicUpdates, "partition", worker)
+	reg.GaugeFunc("mq.consumer_lag", w.SubsLag,
+		"topic", wire.TopicSubs, "partition", worker)
 }
 
 // Start launches the pools and polling loops.
@@ -362,11 +397,11 @@ func (w *Worker) pollSubs(c mq.Cursor) bool {
 		switch m.Kind {
 		case wire.KindSubDelta:
 			w.sampling.Send(uint64(m.Vertex), event{
-				kind: evSubDelta, origin: m.Vertex, hop: m.Hop, sew: m.SEW, delta: m.Delta, ing: m.Ingested,
+				kind: evSubDelta, origin: m.Vertex, hop: m.Hop, sew: m.SEW, delta: m.Delta, ing: m.Ingested, trace: m.Trace,
 			})
 		case wire.KindFeatSubDelta:
 			w.sampling.Send(uint64(m.Vertex), event{
-				kind: evFeatSubDelta, origin: m.Vertex, sew: m.SEW, delta: m.Delta, ing: m.Ingested,
+				kind: evFeatSubDelta, origin: m.Vertex, sew: m.SEW, delta: m.Delta, ing: m.Ingested, trace: m.Trace,
 			})
 		}
 	}
@@ -428,13 +463,13 @@ func (w *Worker) Stats() Stats {
 // (records appended minus records polled) — used by the separation
 // experiment (Fig. 12) and ingestion-latency microbenchmark (Fig. 17).
 func (w *Worker) Lag() int64 {
-	return w.updatesTopic.NextOffset(w.cfg.ID) - w.updOffset.Load()
+	return w.updatesTopic.EndOffset(w.cfg.ID) - w.updOffset.Load()
 }
 
 // SubsLag reports the unconsumed backlog of the worker's subscription
 // partition.
 func (w *Worker) SubsLag() int64 {
-	return w.subsTopic.NextOffset(w.cfg.ID) - w.subsOffset.Load()
+	return w.subsTopic.EndOffset(w.cfg.ID) - w.subsOffset.Load()
 }
 
 // ID returns the worker index.

@@ -5,6 +5,7 @@ import (
 
 	"helios/internal/codec"
 	"helios/internal/graph"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/rpc"
 )
@@ -41,6 +42,11 @@ func AppendResult(w *codec.Writer, res *Result) {
 	w.Uvarint(uint64(res.SampleMisses))
 	w.Uvarint(uint64(res.FeatureMisses))
 	w.Uvarint(uint64(res.Lookups))
+	w.Uvarint(uint64(len(res.Stages)))
+	for _, s := range res.Stages {
+		w.String(s.Name)
+		w.Varint(s.Dur)
+	}
 }
 
 // DecodeResult parses a Result.
@@ -85,6 +91,13 @@ func DecodeResult(r *codec.Reader) (*Result, error) {
 	res.SampleMisses = int(r.Uvarint())
 	res.FeatureMisses = int(r.Uvarint())
 	res.Lookups = int(r.Uvarint())
+	ns := int(r.Uvarint())
+	if r.Err() != nil || ns > r.Remaining() {
+		return nil, errOr(r, codec.ErrShortBuffer)
+	}
+	for i := 0; i < ns; i++ {
+		res.Stages = append(res.Stages, obs.Span{Name: r.String(), Dur: r.Varint()})
+	}
 	return res, r.Err()
 }
 
@@ -95,9 +108,11 @@ func errOr(r *codec.Reader, fallback error) error {
 	return fallback
 }
 
-// ServeRPC registers the worker's sampling method on srv.
+// ServeRPC registers the worker's sampling method on srv. The frame's
+// trace ID (if any) rides into the serving pool so the worker records its
+// leg of the trace and returns the stage spans to the caller.
 func ServeRPC(w *Worker, srv *rpc.Server) {
-	srv.Handle(MethodSample, func(req []byte) ([]byte, error) {
+	srv.HandleTraced(MethodSample, func(trace uint64, req []byte) ([]byte, error) {
 		r := codec.NewReader(req)
 		qid := query.ID(r.Uvarint())
 		seed := graph.VertexID(r.Uvarint())
@@ -105,7 +120,7 @@ func ServeRPC(w *Worker, srv *rpc.Server) {
 			return nil, err
 		}
 		resp := make(chan Response, 1)
-		w.Submit(Request{Query: qid, Seed: seed, Resp: resp})
+		w.Submit(Request{Query: qid, Seed: seed, Resp: resp, Trace: trace})
 		out := <-resp
 		if out.Err != nil {
 			return nil, out.Err
@@ -136,10 +151,16 @@ func DialServing(addr string, timeout time.Duration) (*Client, error) {
 
 // Sample executes a sampling query on the remote worker.
 func (c *Client) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
+	return c.SampleTraced(qid, seed, 0)
+}
+
+// SampleTraced is Sample carrying a trace ID in the RPC envelope; the
+// returned Result includes the worker's stage spans.
+func (c *Client) SampleTraced(qid query.ID, seed graph.VertexID, trace uint64) (*Result, error) {
 	w := codec.NewWriter(20)
 	w.Uvarint(uint64(qid))
 	w.Uvarint(uint64(seed))
-	resp, err := c.c.Call(MethodSample, w.Bytes(), c.timeout)
+	resp, err := c.c.CallTraced(MethodSample, trace, w.Bytes(), c.timeout)
 	if err != nil {
 		return nil, err
 	}

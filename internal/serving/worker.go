@@ -16,11 +16,13 @@ import (
 	"time"
 
 	"helios/internal/actor"
+	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/graph"
 	"helios/internal/kvstore"
 	"helios/internal/metrics"
 	"helios/internal/mq"
+	"helios/internal/obs"
 	"helios/internal/query"
 	"helios/internal/wire"
 )
@@ -46,6 +48,18 @@ type Config struct {
 	MailboxDepth int
 	// TTL expires cache entries untouched for this long; 0 disables.
 	TTL time.Duration
+	// Clock is the time source for latency stamps, TTL sweeps, and request
+	// spans; nil defaults to the wall clock. Tests inject a fake so latency
+	// assertions never sleep.
+	Clock clock.Clock
+	// Metrics receives this worker's counters, histograms and gauges; nil
+	// defaults to a private registry (so unit tests never share state).
+	// Binaries pass obs.Default() to expose the worker on their ops
+	// listener.
+	Metrics *obs.Registry
+	// Tracer records completed request traces for requests carrying a
+	// nonzero trace ID; nil defaults to a private tracer.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -67,6 +81,15 @@ func (c *Config) fill() error {
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 1024
 	}
+	if c.Clock == nil {
+		c.Clock = clock.Wall()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(0, 0)
+	}
 	return nil
 }
 
@@ -75,6 +98,12 @@ type Request struct {
 	Query query.ID
 	Seed  graph.VertexID
 	Resp  chan<- Response
+	// Trace is the request's trace ID (0 = untraced); traced requests
+	// record their stage decomposition into the worker's Tracer.
+	Trace uint64
+	// Enqueued is the submit nanosecond (worker clock), stamped by Submit;
+	// the serving actor derives the queue-wait span from it.
+	Enqueued int64
 }
 
 // Response carries the assembled result.
@@ -101,6 +130,10 @@ type Result struct {
 	// Lookups counts sample-table lookups performed (bounded by
 	// Query.MaxLookups).
 	Lookups int
+	// Stages is the request's span decomposition (queue wait, K-hop
+	// assembly, feature fetch). Populated by Sample/handleRequest and
+	// carried back over RPC so the frontend can complete the trace.
+	Stages []obs.Span
 }
 
 // SampledEdge is one sampled relation.
@@ -115,7 +148,9 @@ type SampledEdge struct {
 type Stats struct {
 	Applied        int64
 	Served         int64
+	SampleHits     int64
 	SampleMisses   int64
+	FeatureHits    int64
 	FeatureMisses  int64
 	CacheBytes     int64
 	QueryLatency   metrics.Snapshot
@@ -123,6 +158,10 @@ type Stats struct {
 	UpdateDepth    int
 	ServeDepth     int
 	ExpiredEntries int64
+	// StalenessNS is the event-time staleness of the most recent cache
+	// apply: the delta between the causing update's ingestion and its
+	// reservoir refresh landing in this cache (§5 freshness).
+	StalenessNS int64
 	// Panics counts recovered handler panics (should be zero).
 	Panics int64
 }
@@ -141,13 +180,18 @@ type Worker struct {
 	sweeper      *actor.Loop
 	started      bool
 
-	applied       metrics.Counter
-	served        metrics.Counter
-	sampleMisses  metrics.Counter
-	featureMisses metrics.Counter
-	expired       metrics.Counter
-	queryLat      metrics.Histogram
-	ingestLat     metrics.Histogram
+	// Metric handles resolved from cfg.Metrics at construction; updates
+	// stay lock-free on the hot path.
+	applied       *metrics.Counter
+	served        *metrics.Counter
+	sampleHits    *metrics.Counter
+	sampleMisses  *metrics.Counter
+	featureHits   *metrics.Counter
+	featureMisses *metrics.Counter
+	expired       *metrics.Counter
+	queryLat      *metrics.Histogram
+	ingestLat     *metrics.Histogram
+	staleness     *obs.Gauge
 }
 
 // New assembles a worker; call Start to begin consuming cache updates.
@@ -167,7 +211,34 @@ func New(cfg Config) (*Worker, error) {
 		db.Close()
 		return nil, err
 	}
+	w.registerMetrics()
 	return w, nil
+}
+
+// registerMetrics resolves the worker's metric handles from the registry
+// and publishes scrape-time gauges for state the worker already tracks.
+func (w *Worker) registerMetrics() {
+	reg := w.cfg.Metrics
+	worker := fmt.Sprint(w.cfg.ID)
+	w.applied = reg.Counter("serving.applied", "worker", worker)
+	w.served = reg.Counter("serving.served", "worker", worker)
+	w.sampleHits = reg.Counter("serving.sample_hits", "worker", worker)
+	w.sampleMisses = reg.Counter("serving.sample_misses", "worker", worker)
+	w.featureHits = reg.Counter("serving.feature_hits", "worker", worker)
+	w.featureMisses = reg.Counter("serving.feature_misses", "worker", worker)
+	w.expired = reg.Counter("serving.expired", "worker", worker)
+	w.queryLat = reg.Histogram("serving.query_latency_ns", "worker", worker)
+	w.ingestLat = reg.Histogram("serving.ingest_latency_ns", "worker", worker)
+	w.staleness = reg.Gauge("serving.staleness_ns", "worker", worker)
+	reg.GaugeFunc("serving.cache_bytes", w.CacheBytes, "worker", worker)
+	reg.GaugeFunc("serving.cache_entries", func() int64 {
+		//lint:allow droppederror scrape-time gauge: a store error reads as 0 entries
+		n, _ := w.db.Len()
+		return int64(n)
+	}, "worker", worker)
+	reg.GaugeFunc("mq.consumer_lag", w.Lag,
+		"topic", wire.TopicSamples, "partition", worker)
+	w.db.RegisterMetrics(reg, "worker", worker)
 }
 
 // Start launches the pools and polling loop.
@@ -183,7 +254,7 @@ func (w *Worker) Start() {
 	if w.cfg.TTL > 0 {
 		w.sweeper = actor.NewLoop(1, func(int) bool {
 			time.Sleep(w.cfg.TTL / 4)
-			w.sweep(time.Now().Add(-w.cfg.TTL).UnixNano())
+			w.sweep(w.cfg.Clock.Now().Add(-w.cfg.TTL).UnixNano())
 			return true
 		})
 	}
@@ -293,7 +364,7 @@ func decodeFeature(buf []byte) (feat []float32, touch int64, err error) {
 
 // applyMessage is the data-updating pool handler.
 func (w *Worker) applyMessage(_ int, m wire.Message) {
-	now := time.Now().UnixNano()
+	now := w.cfg.Clock.Now().UnixNano()
 	switch m.Kind {
 	case wire.KindSampleUpsert:
 		if err := w.db.Put(sampleKey(m.Hop, m.Vertex), encodeSamples(m.Samples, now)); err != nil {
@@ -316,21 +387,56 @@ func (w *Worker) applyMessage(_ int, m wire.Message) {
 	}
 	w.applied.Inc()
 	if m.Ingested > 0 {
-		w.ingestLat.Record(now - m.Ingested)
+		lat := now - m.Ingested
+		w.ingestLat.Record(lat)
+		// Sample-table staleness (§5 freshness): event-time delta between
+		// the causing update's ingestion and this cache refresh.
+		w.staleness.Set(lat)
+		if m.Trace != 0 {
+			// A traced ingest reached this cache — close the update-path
+			// leg of the trace so /traces can attribute freshness.
+			w.cfg.Tracer.Record(obs.Trace{
+				ID: m.Trace, Op: "cache_apply", Start: m.Ingested, Total: lat,
+				Spans: []obs.Span{{Name: "serving.cache_apply", Dur: lat}},
+			})
+		}
 	}
 }
 
 // Submit enqueues a request on the serving pool; the response arrives on
 // req.Resp. Requests for one seed serialize on one serving actor.
 func (w *Worker) Submit(req Request) {
+	if req.Enqueued == 0 {
+		req.Enqueued = w.cfg.Clock.Now().UnixNano()
+	}
 	w.servePool.Send(uint64(req.Seed), req)
 }
 
 func (w *Worker) handleRequest(_ int, req Request) {
-	start := time.Now()
+	start := w.cfg.Clock.Now()
 	res, err := w.Sample(req.Query, req.Seed)
+	end := w.cfg.Clock.Now()
+	if res != nil && req.Enqueued > 0 {
+		wait := start.UnixNano() - req.Enqueued
+		if wait < 0 {
+			wait = 0
+		}
+		res.Stages = append([]obs.Span{{Name: "serving.queue_wait", Dur: wait}}, res.Stages...)
+	}
+	if req.Trace != 0 && res != nil {
+		// Total covers queue wait + service so the spans always sum to at
+		// most the recorded end-to-end time.
+		traceStart := req.Enqueued
+		if traceStart == 0 {
+			traceStart = start.UnixNano()
+		}
+		w.cfg.Tracer.Record(obs.Trace{
+			ID: req.Trace, Op: "sample", Start: traceStart,
+			Total: end.UnixNano() - traceStart, Spans: res.Stages,
+		})
+	}
 	if req.Resp != nil {
-		req.Resp <- Response{Result: res, Err: err, Latency: time.Since(start)}
+		req.Resp <- Response{Result: res, Err: err, Latency: end.Sub(start)}
 	}
 }
 
@@ -343,7 +449,7 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("serving: unknown query %d", qid)
 	}
-	start := time.Now()
+	start := w.cfg.Clock.Now()
 	res := &Result{
 		Layers:   make([][]graph.VertexID, 1, len(plan.OneHops)+1),
 		Features: make(map[graph.VertexID][]float32),
@@ -364,6 +470,7 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 				w.sampleMisses.Inc()
 				continue
 			}
+			w.sampleHits.Inc()
 			samples, _, err := decodeSamples(buf)
 			if err != nil {
 				return nil, err
@@ -378,6 +485,7 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 		res.Layers = append(res.Layers, next)
 		frontier = next
 	}
+	assembled := w.cfg.Clock.Now()
 	// Feature pass over every distinct vertex in the tree.
 	for _, layer := range res.Layers {
 		for _, v := range layer {
@@ -393,6 +501,7 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 				w.featureMisses.Inc()
 				continue
 			}
+			w.featureHits.Inc()
 			feat, _, err := decodeFeature(buf)
 			if err != nil {
 				return nil, err
@@ -400,8 +509,12 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 			res.Features[v] = feat
 		}
 	}
+	done := w.cfg.Clock.Now()
+	res.Stages = append(res.Stages,
+		obs.Span{Name: "serving.khop_assembly", Dur: assembled.Sub(start).Nanoseconds()},
+		obs.Span{Name: "serving.feature_fetch", Dur: done.Sub(assembled).Nanoseconds()})
 	w.served.Inc()
-	w.queryLat.RecordSince(start)
+	w.queryLat.Record(done.Sub(start).Nanoseconds())
 	return res, nil
 }
 
@@ -431,12 +544,15 @@ func (w *Worker) Stats() Stats {
 	s := Stats{
 		Applied:        w.applied.Value(),
 		Served:         w.served.Value(),
+		SampleHits:     w.sampleHits.Value(),
 		SampleMisses:   w.sampleMisses.Value(),
+		FeatureHits:    w.featureHits.Value(),
 		FeatureMisses:  w.featureMisses.Value(),
 		CacheBytes:     w.db.ApproxBytes(),
 		QueryLatency:   w.queryLat.Snapshot(),
 		IngestLatency:  w.ingestLat.Snapshot(),
 		ExpiredEntries: w.expired.Value(),
+		StalenessNS:    w.staleness.Value(),
 	}
 	if w.updatePool != nil {
 		s.UpdateDepth = w.updatePool.Depth()
@@ -490,9 +606,9 @@ func (w *Worker) HasFeature(v graph.VertexID) bool {
 }
 
 // Lag reports the unconsumed backlog of this worker's sample queue
-// (records appended minus records polled).
+// (log-end offset minus the committed poll position).
 func (w *Worker) Lag() int64 {
-	return w.samplesTopic.NextOffset(w.cfg.ID) - w.consumed.Load()
+	return w.samplesTopic.EndOffset(w.cfg.ID) - w.consumed.Load()
 }
 
 // ID returns the worker index.

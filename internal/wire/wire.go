@@ -86,6 +86,10 @@ type Message struct {
 	Delta int8
 	// Ingested propagates the causing update's ingestion nanosecond.
 	Ingested int64
+	// Trace propagates the causing update's trace ID (0 = untraced), so a
+	// traced ingestion can be followed through sampling into the serving
+	// worker's cache apply.
+	Trace uint64
 }
 
 // Append encodes m into w.
@@ -94,6 +98,7 @@ func Append(w *codec.Writer, m *Message) {
 	w.Uvarint(uint64(m.Hop))
 	w.Uvarint(uint64(m.Vertex))
 	w.Varint(m.Ingested)
+	w.Uvarint(m.Trace)
 	switch m.Kind {
 	case KindSampleUpsert:
 		w.Uvarint(uint64(len(m.Samples)))
@@ -125,6 +130,7 @@ func Decode(buf []byte) (Message, error) {
 	m.Hop = query.HopID(r.Uvarint())
 	m.Vertex = graph.VertexID(r.Uvarint())
 	m.Ingested = r.Varint()
+	m.Trace = r.Uvarint()
 	switch m.Kind {
 	case KindSampleUpsert:
 		n := int(r.Uvarint())
