@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check obs-smoke
+.PHONY: build vet lint test race check obs-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ race:
 # /traces come back non-empty (see scripts/obs-smoke.sh).
 obs-smoke:
 	bash scripts/obs-smoke.sh
+
+# Kills and restarts the broker endpoint under examples/distributed -chaos
+# and asserts the pipeline reconverges with nonzero reconnect/retry
+# counters (see scripts/chaos-smoke.sh).
+chaos-smoke:
+	bash scripts/chaos-smoke.sh
 
 # The tier-1 gate: every PR must leave this green.
 check:

@@ -1,6 +1,7 @@
 // Command helios-broker runs the durable queue service all Helios stages
 // communicate through (the Kafka role of §4.1), plus the coordinator's
-// heartbeat endpoint.
+// heartbeat endpoint: workers report liveness over the same reconnecting
+// connection they use for queue traffic.
 //
 // Usage:
 //
@@ -13,7 +14,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"helios/internal/coord"
+	"helios/internal/faultpoint"
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/rpc"
@@ -23,13 +27,22 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
 	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
+	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.append=error:injected:3 (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	if err := faultpoint.ArmSpec(*faults); err != nil {
+		log.Fatalf("helios-broker: %v", err)
+	}
 	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
 	broker.RegisterMetrics(obs.Default())
+	rpc.RegisterMetrics(obs.Default())
+	coordinator := coord.New(nil)
+	coordinator.RegisterMetrics(obs.Default(), *deadAfter)
 	srv := rpc.NewServer()
 	mq.ServeBroker(broker, srv)
+	coord.ServeRPC(coordinator, srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("helios-broker: %v", err)

@@ -6,6 +6,11 @@
 //
 //	helios-frontend -config cluster.json -broker 127.0.0.1:7070 \
 //	    -servers 127.0.0.1:7081,127.0.0.1:7082 -listen 127.0.0.1:8080
+//
+// With "replicas": R in the config, -servers takes Servers×R addresses in
+// partition-major order (all replicas of partition 0 first); the frontend
+// fails over between the replicas of a partition and probes dead ones back
+// in.
 package main
 
 import (
@@ -13,8 +18,10 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"helios/internal/deploy"
+	"helios/internal/faultpoint"
 	"helios/internal/frontend"
 	"helios/internal/mq"
 	"helios/internal/obs"
@@ -23,11 +30,16 @@ import (
 func main() {
 	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
-	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, in worker-ID order")
+	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, partition-major (see replicas)")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	probeEvery := flag.Duration("probe-every", time.Second, "health-probe interval for unhealthy serving replicas")
+	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.dial=error (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	if err := faultpoint.ArmSpec(*faults); err != nil {
+		log.Fatalf("helios-frontend: %v", err)
+	}
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-frontend: %v", err)
@@ -47,6 +59,7 @@ func main() {
 		log.Fatalf("helios-frontend: %v", err)
 	}
 	defer fe.Close()
+	fe.SetProbeInterval(*probeEvery)
 	fe.UseObs(nil, obs.Default(), obs.DefaultTracer())
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {

@@ -10,15 +10,19 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"helios/internal/coord"
 	"helios/internal/deploy"
+	"helios/internal/faultpoint"
 	"helios/internal/mq"
 	"helios/internal/obs"
+	"helios/internal/rpc"
 	"helios/internal/sampler"
 )
 
@@ -31,13 +35,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling RNG seed")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
+	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
+	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.client.write=error (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	if err := faultpoint.ArmSpec(*faults); err != nil {
+		log.Fatalf("helios-sampler: %v", err)
+	}
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-sampler: %v", err)
 	}
+	rpc.RegisterMetrics(obs.Default())
 	bus, err := mq.DialBroker(*brokerAddr, 0)
 	if err != nil {
 		log.Fatalf("helios-sampler: dial broker: %v", err)
@@ -80,6 +90,26 @@ func main() {
 		*id, cfg.File.Samplers, len(cfg.Plans))
 
 	stopCkpt := make(chan struct{})
+	if *heartbeatEvery > 0 {
+		// Heartbeats ride the broker connection, which reconnects by
+		// itself — so a worker that cannot reach the broker misses beats
+		// and is, correctly, reported dead by the coordinator.
+		hb := coord.NewClient(bus.Client(), 0)
+		name := fmt.Sprintf("sampler-%d", *id)
+		go func() {
+			t := time.NewTicker(*heartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					//lint:allow droppederror best-effort liveness beat; a missed beat just reads as dead until the next one lands
+					_ = hb.Heartbeat(name, coord.KindSampler)
+				}
+			}
+		}()
+	}
 	if *checkpoint != "" {
 		go func() {
 			t := time.NewTicker(*checkpointEvery)

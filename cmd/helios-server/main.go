@@ -9,13 +9,16 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"helios/internal/coord"
 	"helios/internal/deploy"
+	"helios/internal/faultpoint"
 	"helios/internal/kvstore"
 	"helios/internal/mq"
 	"helios/internal/obs"
@@ -32,13 +35,19 @@ func main() {
 	cacheBudget := flag.Int64("cache-mem", 0, "cache memory budget in bytes before spilling (0 = default)")
 	serveThreads := flag.Int("serve-threads", 0, "serving actor count (0 = default)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
+	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
+	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.fetch=error:injected:3 (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	if err := faultpoint.ArmSpec(*faults); err != nil {
+		log.Fatalf("helios-server: %v", err)
+	}
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-server: %v", err)
 	}
+	rpc.RegisterMetrics(obs.Default())
 	bus, err := mq.DialBroker(*brokerAddr, 0)
 	if err != nil {
 		log.Fatalf("helios-server: dial broker: %v", err)
@@ -78,6 +87,26 @@ func main() {
 	log.Printf("helios-server: worker %d/%d serving on %s", *id, cfg.File.Servers, addr)
 
 	stop := make(chan struct{})
+	if *heartbeatEvery > 0 {
+		// Heartbeats ride the broker connection, which reconnects by
+		// itself — a worker cut off from the broker misses beats and is,
+		// correctly, reported dead by the coordinator.
+		hb := coord.NewClient(bus.Client(), 0)
+		name := fmt.Sprintf("server-%d", *id)
+		go func() {
+			t := time.NewTicker(*heartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					//lint:allow droppederror best-effort liveness beat; a missed beat just reads as dead until the next one lands
+					_ = hb.Heartbeat(name, coord.KindServer)
+				}
+			}
+		}()
+	}
 	if *statsEvery > 0 {
 		go func() {
 			t := time.NewTicker(*statsEvery)

@@ -46,6 +46,7 @@ const clusterConfig = `{
 func main() {
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	linger := flag.Duration("linger", 0, "keep the deployment alive this long after the demo (for ops scraping)")
+	chaos := flag.Bool("chaos", false, "after the demo, kill and restart the broker endpoint and prove reconvergence")
 	flag.Parse()
 
 	cfg, err := deploy.Parse([]byte(clusterConfig))
@@ -192,6 +193,93 @@ func main() {
 		time.Sleep(20 * time.Millisecond)
 	}
 	fmt.Println("distributed topology demo complete")
+
+	if *chaos {
+		// Kill the broker's RPC endpoint mid-run. The retained log survives
+		// inside the Broker; every client connection dies and self-heals.
+		fmt.Println("chaos: killing broker endpoint")
+		brokerSrv.Close()
+		// One doomed ingest exercises the retry path while the broker is
+		// down (the gateway answers 500 once the retry budget is spent).
+		post("/ingest/vertex", map[string]any{"id": 999, "type": "Item", "feature": []float32{9}})
+
+		var srv2 *rpc.Server
+		for i := 0; i < 100; i++ {
+			srv2 = rpc.NewServer()
+			mq.ServeBroker(broker, srv2)
+			if _, err = srv2.Listen(brokerAddr); err == nil {
+				break
+			}
+			srv2.Close()
+			srv2 = nil
+			time.Sleep(10 * time.Millisecond)
+		}
+		if srv2 == nil {
+			log.Fatalf("chaos: rebind broker endpoint: %v", err)
+		}
+		defer srv2.Close()
+		fmt.Println("chaos: broker endpoint restarted on", brokerAddr)
+
+		// New data after the restart: a second CoPurchase hop. Retry until
+		// accepted — the first appends may race the reconnect, and broker
+		// appends are at-least-once anyway.
+		postRetry := func(path string, body map[string]any) {
+			data, err := json.Marshal(body)
+			if err != nil {
+				log.Fatal(err)
+			}
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				resp, err := http.Post(gateway+path, "application/json", bytes.NewReader(data))
+				if err != nil {
+					log.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusAccepted {
+					return
+				}
+				if time.Now().After(deadline) {
+					log.Fatalf("chaos: POST %s never accepted (last status %d)", path, resp.StatusCode)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		postRetry("/ingest/vertex", map[string]any{"id": 103, "type": "Item", "feature": []float32{7}})
+		postRetry("/ingest/edge", map[string]any{"src": 101, "dst": 103, "type": "CoPurchase", "ts": 20})
+
+		// Reconverge: the new hop-2 vertex must appear in the sample tree.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var out struct {
+				Layers [][]uint64 `json:"layers"`
+			}
+			json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			found := false
+			if len(out.Layers) == 3 {
+				for _, v := range out.Layers[2] {
+					if v == 103 {
+						found = true
+					}
+				}
+			}
+			if found {
+				fmt.Printf("sample after restart: hop-1=%v hop-2=%v\n", out.Layers[1], out.Layers[2])
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("chaos: pipeline never reconverged")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("chaos reconvergence complete (reconnects=%d retries=%d)\n",
+			rpc.TotalReconnects(), rpc.TotalRetries())
+	}
+
 	if *linger > 0 {
 		fmt.Printf("lingering %s for ops scrapes\n", *linger)
 		time.Sleep(*linger)

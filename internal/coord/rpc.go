@@ -1,0 +1,68 @@
+package coord
+
+import (
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/obs"
+	"helios/internal/rpc"
+)
+
+// RPC surface of the coordinator. In a multi-process deployment the
+// coordinator rides on the broker binary's RPC server, and every worker
+// reports liveness over its existing (reconnecting) broker connection —
+// so heartbeats heal across broker restarts exactly like the data path,
+// and a worker that cannot reach the broker is, correctly, reported dead.
+
+// MethodHeartbeat records one worker heartbeat.
+const MethodHeartbeat = "coord.heartbeat"
+
+// ServeRPC registers the coordinator's RPC surface on srv.
+func ServeRPC(c *Coordinator, srv *rpc.Server) {
+	srv.Handle(MethodHeartbeat, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		kind := WorkerKind(r.String())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		c.Heartbeat(name, kind)
+		return nil, nil
+	})
+}
+
+// RegisterMetrics publishes worker-liveness gauges on reg: the number of
+// registered workers and how many have missed deadTimeout of heartbeats.
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry, deadTimeout time.Duration) {
+	reg.GaugeFunc("coord.workers", func() int64 {
+		return int64(len(c.Workers()))
+	})
+	reg.GaugeFunc("coord.dead_workers", func() int64 {
+		return int64(len(c.Dead(deadTimeout)))
+	})
+}
+
+// Client reports heartbeats to a remote coordinator, typically over the
+// same reconnecting RPC client the worker's RemoteBroker uses.
+type Client struct {
+	c       *rpc.Client
+	timeout time.Duration
+}
+
+// NewClient wraps an established RPC client (shared with the broker
+// connection). timeout 0 defaults to 5s.
+func NewClient(c *rpc.Client, timeout time.Duration) *Client {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{c: c, timeout: timeout}
+}
+
+// Heartbeat reports liveness for the named worker.
+func (hc *Client) Heartbeat(name string, kind WorkerKind) error {
+	w := codec.NewWriter(32)
+	w.String(name)
+	w.String(string(kind))
+	_, err := hc.c.Call(MethodHeartbeat, w.Bytes(), hc.timeout)
+	return err
+}

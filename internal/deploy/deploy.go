@@ -21,6 +21,10 @@ type File struct {
 	// Samplers (M) and Servers (N).
 	Samplers int `json:"samplers"`
 	Servers  int `json:"servers"`
+	// Replicas is how many interchangeable serving workers cover each
+	// serving partition (the frontend fails over between them). 0 or 1
+	// means no replication.
+	Replicas int `json:"replicas,omitempty"`
 	// VertexTypes declares the schema's vertex type names in ID order.
 	VertexTypes []string `json:"vertexTypes"`
 	// EdgeTypes declares typed edges.
@@ -64,6 +68,12 @@ func Parse(data []byte) (*Config, error) {
 	}
 	if f.Samplers < 1 || f.Servers < 1 {
 		return nil, fmt.Errorf("deploy: samplers and servers must be ≥ 1")
+	}
+	if f.Replicas < 0 {
+		return nil, fmt.Errorf("deploy: replicas must be ≥ 0")
+	}
+	if f.Replicas == 0 {
+		f.Replicas = 1
 	}
 	if len(f.Queries) == 0 {
 		return nil, fmt.Errorf("deploy: at least one query is required")

@@ -1,0 +1,255 @@
+// Package faultpoint provides named, deterministic failure-injection
+// hooks for tests and chaos drills. Production code calls Inject (or
+// Dropped) at a named point; by default both are a single atomic load
+// and do nothing. Tests — or a binary started with -faultpoints — arm a
+// point with a mode:
+//
+//	error  — Inject returns ErrInjected (or a custom error)
+//	delay  — Inject sleeps for a fixed duration, then returns nil
+//	drop   — Dropped reports true, telling the call site to silently
+//	         discard the operation (e.g. swallow a response write)
+//
+// Every mode carries a fire budget: the point triggers for the next N
+// calls and then disarms itself, so "error-once" failures are expressed
+// as ErrorN(name, 1) and a flaky-forever link as count < 0. All state is
+// process-global and guarded by one mutex; the arming API is intended
+// for test setup and main(), not hot paths.
+//
+// The catalogue of points wired into the tree lives in DESIGN.md
+// ("Fault tolerance & operations"). Names follow the metric convention:
+// "rpc.dial", "mq.append", "kvstore.run.write", ...
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by armed error points.
+var ErrInjected = errors.New("faultpoint: injected failure")
+
+type mode uint8
+
+const (
+	modeError mode = iota + 1
+	modeDelay
+	modeDrop
+)
+
+type point struct {
+	mode mode
+	// remaining is the fire budget: >0 counts down per trigger, <0
+	// means fire forever until disarmed.
+	remaining int
+	delay     time.Duration
+	err       error
+	hits      int64
+}
+
+var (
+	// armedCount gates the hot path: Inject/Dropped return immediately
+	// unless at least one point has a nonzero budget.
+	armedCount atomic.Int32
+
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Inject triggers the named point if armed. Error points return their
+// error, delay points sleep and return nil, drop points are a no-op here
+// (call sites that can discard work check Dropped instead). Unarmed or
+// exhausted points return nil.
+func Inject(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil || p.remaining == 0 || p.mode == modeDrop {
+		mu.Unlock()
+		return nil
+	}
+	fire(p)
+	m, d, err := p.mode, p.delay, p.err
+	mu.Unlock()
+	if m == modeDelay {
+		time.Sleep(d)
+		return nil
+	}
+	return err
+}
+
+// Dropped reports whether the named point is armed in drop mode and
+// consumes one fire from its budget. Call sites use it to silently
+// discard an operation (a response write, a queue record).
+func Dropped(name string) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil || p.remaining == 0 || p.mode != modeDrop {
+		return false
+	}
+	fire(p)
+	return true
+}
+
+// fire consumes one unit of budget. Callers hold mu.
+func fire(p *point) {
+	p.hits++
+	if p.remaining > 0 {
+		p.remaining--
+		if p.remaining == 0 {
+			armedCount.Add(-1)
+		}
+	}
+}
+
+// arm installs (or replaces) a point. Callers hold mu.
+func arm(name string, p *point) {
+	if old := points[name]; old != nil && old.remaining != 0 {
+		armedCount.Add(-1)
+	}
+	points[name] = p
+	if p.remaining != 0 {
+		armedCount.Add(1)
+	}
+}
+
+// ErrorN arms name to return ErrInjected for the next n calls
+// (n < 0: every call until disarmed).
+func ErrorN(name string, n int) { ErrorWith(name, n, ErrInjected) }
+
+// ErrorOnce arms name to fail exactly the next call.
+func ErrorOnce(name string) { ErrorWith(name, 1, ErrInjected) }
+
+// ErrorWith arms name to return err for the next n calls.
+func ErrorWith(name string, n int, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	arm(name, &point{mode: modeError, remaining: n, err: err})
+}
+
+// Delay arms name to sleep d on each of the next n calls.
+func Delay(name string, n int, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	arm(name, &point{mode: modeDelay, remaining: n, delay: d})
+}
+
+// Drop arms name so Dropped reports true for the next n calls.
+func Drop(name string, n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	arm(name, &point{mode: modeDrop, remaining: n})
+}
+
+// Disarm removes the named point (its hit count is forgotten).
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		if p.remaining != 0 {
+			armedCount.Add(-1)
+		}
+		delete(points, name)
+	}
+}
+
+// Reset removes every point. Tests that arm points must defer Reset.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name, p := range points {
+		if p.remaining != 0 {
+			armedCount.Add(-1)
+		}
+		delete(points, name)
+	}
+}
+
+// Hits returns how many times the named point has triggered since it was
+// last armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// ArmSpec arms points from a comma-separated flag value, e.g.
+//
+//	-faultpoints "mq.append=error:3,rpc.dial=delay:50ms:10,rpc.server.write=drop"
+//
+// Each entry is name=mode[:arg[:count]]. Modes:
+//
+//	error[:N]        fail the next N calls (default 1, "*" = forever)
+//	delay:DUR[:N]    sleep DUR on the next N calls (default forever)
+//	drop[:N]         drop the next N operations (default 1, "*" = forever)
+func ArmSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: bad entry %q (want name=mode[:arg])", entry)
+		}
+		parts := strings.Split(rest, ":")
+		switch parts[0] {
+		case "error":
+			n, err := specCount(parts, 1, 1)
+			if err != nil {
+				return fmt.Errorf("faultpoint: %q: %v", entry, err)
+			}
+			ErrorN(name, n)
+		case "delay":
+			if len(parts) < 2 {
+				return fmt.Errorf("faultpoint: %q: delay needs a duration", entry)
+			}
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return fmt.Errorf("faultpoint: %q: %v", entry, err)
+			}
+			n, err := specCount(parts, 2, -1)
+			if err != nil {
+				return fmt.Errorf("faultpoint: %q: %v", entry, err)
+			}
+			Delay(name, n, d)
+		case "drop":
+			n, err := specCount(parts, 1, 1)
+			if err != nil {
+				return fmt.Errorf("faultpoint: %q: %v", entry, err)
+			}
+			Drop(name, n)
+		default:
+			return fmt.Errorf("faultpoint: %q: unknown mode %q", entry, parts[0])
+		}
+	}
+	return nil
+}
+
+// specCount parses the optional trailing count of an ArmSpec entry.
+func specCount(parts []string, idx, def int) (int, error) {
+	if len(parts) <= idx {
+		return def, nil
+	}
+	if parts[idx] == "*" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(parts[idx])
+	if err != nil {
+		return 0, fmt.Errorf("bad count %q", parts[idx])
+	}
+	return n, nil
+}

@@ -1,0 +1,154 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	defer Reset()
+	if err := Inject("nope"); err != nil {
+		t.Fatalf("unarmed Inject = %v", err)
+	}
+	if Dropped("nope") {
+		t.Fatal("unarmed Dropped = true")
+	}
+}
+
+func TestErrorBudget(t *testing.T) {
+	defer Reset()
+	ErrorN("p", 2)
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first = %v", err)
+	}
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second = %v", err)
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("exhausted = %v", err)
+	}
+	if got := Hits("p"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+func TestErrorOnceAndCustomError(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	ErrorWith("p", 1, boom)
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("second = %v", err)
+	}
+}
+
+func TestForeverUntilDisarm(t *testing.T) {
+	defer Reset()
+	ErrorN("p", -1)
+	for i := 0; i < 5; i++ {
+		if Inject("p") == nil {
+			t.Fatal("forever point stopped firing")
+		}
+	}
+	Disarm("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("after disarm = %v", err)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	defer Reset()
+	Drop("p", 1)
+	// Error-style Inject must not consume a drop point.
+	if err := Inject("p"); err != nil {
+		t.Fatalf("Inject on drop point = %v", err)
+	}
+	if !Dropped("p") {
+		t.Fatal("first Dropped = false")
+	}
+	if Dropped("p") {
+		t.Fatal("exhausted Dropped = true")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	defer Reset()
+	Delay("p", 1, 30*time.Millisecond)
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("delay Inject = %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+	start = time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("exhausted delay still sleeping")
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	err := ArmSpec("a=error:2, b=delay:10ms:1 ,c=drop,d=error:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Inject("a") == nil || Inject("a") == nil || Inject("a") != nil {
+		t.Fatal("a budget wrong")
+	}
+	start := time.Now()
+	if Inject("b") != nil {
+		t.Fatal("b should delay, not error")
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("b delay not applied")
+	}
+	if !Dropped("c") || Dropped("c") {
+		t.Fatal("c drop budget wrong")
+	}
+	for i := 0; i < 10; i++ {
+		if Inject("d") == nil {
+			t.Fatal("d should fire forever")
+		}
+	}
+}
+
+func TestArmSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"noequals",
+		"a=wat",
+		"a=delay",
+		"a=delay:xyz",
+		"a=error:zz",
+	} {
+		if err := ArmSpec(spec); err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", spec)
+		}
+	}
+	// Empty entries are tolerated.
+	if err := ArmSpec(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRearmReplacesBudget(t *testing.T) {
+	defer Reset()
+	ErrorN("p", 1)
+	if Inject("p") == nil {
+		t.Fatal("want error")
+	}
+	ErrorN("p", 1)
+	if Inject("p") == nil {
+		t.Fatal("rearmed point should fire")
+	}
+	if Inject("p") != nil {
+		t.Fatal("rearmed budget should be fresh, not cumulative")
+	}
+}

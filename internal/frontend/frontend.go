@@ -6,10 +6,15 @@ package frontend
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"helios/internal/actor"
 	"helios/internal/clock"
 	"helios/internal/codec"
 	"helios/internal/deploy"
@@ -18,34 +23,62 @@ import (
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/query"
+	"helios/internal/rpc"
 	"helios/internal/serving"
 	"helios/internal/wire"
 )
+
+// replica is one serving endpoint covering a partition. healthy is
+// cleared when a call fails at the transport level and restored by the
+// background prober once the endpoint answers pings again.
+type replica struct {
+	addr    string
+	client  *serving.Client
+	healthy atomic.Bool
+}
+
+// defaultProbeInterval paces health probes of unhealthy replicas.
+const defaultProbeInterval = time.Second
 
 // Frontend routes requests and updates for one deployment.
 type Frontend struct {
 	cfg      *deploy.Config
 	part     graph.Partitioner // sampling workers
 	servPart graph.Partitioner // serving workers
-	servers  []*serving.Client
+	servers  [][]*replica      // [partition][replica]
+	rr       []atomic.Uint64   // per-partition round-robin cursor
 	updates  mq.TopicHandle
 	dirs     map[graph.EdgeType][2]bool
 	seq      metrics.Counter
+
+	probeEvery atomic.Int64 // ns between health probes
+	prober     *actor.Loop
+	probeStop  chan struct{}
+	closeOnce  sync.Once
 
 	clk    clock.Clock
 	reg    *obs.Registry
 	tracer *obs.Tracer
 
-	// Requests / Updates count routed traffic.
-	Requests metrics.Counter
-	Updates  metrics.Counter
+	// Requests / Updates count routed traffic; Failovers counts replica
+	// calls abandoned for the next replica after a transport failure.
+	Requests  metrics.Counter
+	Updates   metrics.Counter
+	Failovers metrics.Counter
 }
 
-// New connects a frontend to the broker and the serving workers'
-// RPC endpoints (len(servingAddrs) must equal the configured server count).
+// New connects a frontend to the broker and the serving workers' RPC
+// endpoints. With R = max(cfg.File.Replicas, 1), servingAddrs must hold
+// Servers×R entries in partition-major order: the R interchangeable
+// replicas of partition p are servingAddrs[p*R : (p+1)*R].
 func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, error) {
-	if len(servingAddrs) != cfg.File.Servers {
-		return nil, fmt.Errorf("frontend: %d serving addrs for %d servers", len(servingAddrs), cfg.File.Servers)
+	nrep := cfg.File.Replicas
+	if nrep < 1 {
+		nrep = 1
+	}
+	if len(servingAddrs) != cfg.File.Servers*nrep {
+		return nil, fmt.Errorf("frontend: %d serving addrs for %d servers × %d replicas",
+			len(servingAddrs), cfg.File.Servers, nrep)
 	}
 	updates, err := bus.OpenTopic(wire.TopicUpdates, cfg.File.Samplers)
 	if err != nil {
@@ -55,22 +88,114 @@ func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, erro
 		cfg:      cfg,
 		part:     graph.NewPartitioner(cfg.File.Samplers),
 		servPart: graph.NewPartitioner(cfg.File.Servers),
+		rr:       make([]atomic.Uint64, cfg.File.Servers),
 		updates:  updates,
 		dirs:     cfg.EdgeRouting(),
 		clk:      clock.Wall(),
 		reg:      obs.NewRegistry(),
 		tracer:   obs.NewTracer(0, 0),
 	}
+	f.probeEvery.Store(int64(defaultProbeInterval))
 	f.registerMetrics()
-	for _, addr := range servingAddrs {
-		c, err := serving.DialServing(addr, 0)
-		if err != nil {
-			f.Close()
-			return nil, err
+	for p := 0; p < cfg.File.Servers; p++ {
+		reps := make([]*replica, nrep)
+		for r := 0; r < nrep; r++ {
+			addr := servingAddrs[p*nrep+r]
+			c, err := serving.DialServing(addr, 0)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			reps[r] = &replica{addr: addr, client: c}
+			reps[r].healthy.Store(true)
 		}
-		f.servers = append(f.servers, c)
+		f.servers = append(f.servers, reps)
 	}
+	f.probeStop = make(chan struct{})
+	f.prober = actor.NewLoop(1, func(int) bool {
+		select {
+		case <-f.probeStop:
+			return false
+		case <-time.After(time.Duration(f.probeEvery.Load())):
+		}
+		f.probeOnce()
+		return true
+	})
 	return f, nil
+}
+
+// SetProbeInterval adjusts how often unhealthy replicas are probed for
+// re-admission (takes effect after the current wait).
+func (f *Frontend) SetProbeInterval(d time.Duration) {
+	if d > 0 {
+		f.probeEvery.Store(int64(d))
+	}
+}
+
+// probeOnce pings every unhealthy replica and re-admits the ones that
+// answer.
+func (f *Frontend) probeOnce() {
+	for _, reps := range f.servers {
+		for _, rep := range reps {
+			if rep.healthy.Load() {
+				continue
+			}
+			if rep.client.Ping(time.Second) == nil {
+				rep.healthy.Store(true)
+			}
+		}
+	}
+}
+
+// unhealthyReplicas counts replicas currently marked down (scrape-time).
+func (f *Frontend) unhealthyReplicas() int64 {
+	var n int64
+	for _, reps := range f.servers {
+		for _, rep := range reps {
+			if !rep.healthy.Load() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// callReplica runs fn against the partition's replicas until one
+// succeeds. Replica order rotates per call; unhealthy replicas are
+// skipped on the first pass but — so a fully-down partition still gets a
+// liveness check instead of an instant refusal — tried on the second.
+// A transport failure marks the replica unhealthy and moves on; a remote
+// handler error is the caller's problem and returns immediately.
+func (f *Frontend) callReplica(seed graph.VertexID, fn func(*serving.Client) error) error {
+	p := f.servPart.Of(seed)
+	reps := f.servers[p]
+	start := int(f.rr[p].Add(1))
+	tried := make([]bool, len(reps))
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(reps); i++ {
+			idx := (start + i) % len(reps)
+			rep := reps[idx]
+			if tried[idx] || (pass == 0 && !rep.healthy.Load()) {
+				continue
+			}
+			tried[idx] = true
+			err := fn(rep.client)
+			if err == nil {
+				rep.healthy.Store(true)
+				return nil
+			}
+			var re *rpc.RemoteError
+			if errors.As(err, &re) {
+				return err
+			}
+			lastErr = err
+			if rep.healthy.CompareAndSwap(true, false) {
+				f.Failovers.Inc()
+			}
+		}
+	}
+	return lastErr
 }
 
 // UseObs replaces the frontend's observability wiring: binaries pass the
@@ -93,6 +218,9 @@ func (f *Frontend) UseObs(clk clock.Clock, reg *obs.Registry, tracer *obs.Tracer
 func (f *Frontend) registerMetrics() {
 	f.reg.CounterFunc("frontend.requests", f.Requests.Value)
 	f.reg.CounterFunc("frontend.updates", f.Updates.Value)
+	f.reg.CounterFunc("frontend.failovers", f.Failovers.Value)
+	f.reg.GaugeFunc("frontend.unhealthy_replicas", f.unhealthyReplicas)
+	rpc.RegisterMetrics(f.reg)
 }
 
 // Tracer returns the frontend's tracer (for tests and ops wiring).
@@ -101,13 +229,21 @@ func (f *Frontend) Tracer() *obs.Tracer { return f.tracer }
 // Metrics returns the frontend's registry.
 func (f *Frontend) Metrics() *obs.Registry { return f.reg }
 
-// Close releases the serving connections.
+// Close stops the health prober and releases the serving connections.
 func (f *Frontend) Close() {
-	for _, c := range f.servers {
-		if c != nil {
-			c.Close()
+	f.closeOnce.Do(func() {
+		if f.prober != nil {
+			close(f.probeStop)
+			f.prober.Stop()
 		}
-	}
+		for _, reps := range f.servers {
+			for _, rep := range reps {
+				if rep != nil && rep.client != nil {
+					rep.client.Close()
+				}
+			}
+		}
+	})
 }
 
 // Ingest stamps and routes one update. The update stays untraced (unless
@@ -164,10 +300,17 @@ func (f *Frontend) route(u graph.Update) error {
 	}
 }
 
-// Sample routes a sampling query to the owning serving worker (untraced).
+// Sample routes a sampling query to a healthy replica of the serving
+// partition owning the seed (untraced).
 func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
 	f.Requests.Inc()
-	return f.servers[f.servPart.Of(seed)].Sample(qid, seed)
+	var res *serving.Result
+	err := f.callReplica(seed, func(c *serving.Client) error {
+		var err error
+		res, err = c.Sample(qid, seed)
+		return err
+	})
+	return res, err
 }
 
 // SampleTraced routes a sampling query with a freshly minted trace ID and
@@ -178,7 +321,12 @@ func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Res
 	f.Requests.Inc()
 	trace := f.tracer.NewID()
 	start := f.clk.Now()
-	res, err := f.servers[f.servPart.Of(seed)].SampleTraced(qid, seed, trace)
+	var res *serving.Result
+	err := f.callReplica(seed, func(c *serving.Client) error {
+		var err error
+		res, err = c.SampleTraced(qid, seed, trace)
+		return err
+	})
 	total := f.clk.Now().Sub(start).Nanoseconds()
 	if err != nil {
 		return nil, trace, err

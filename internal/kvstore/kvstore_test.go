@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"helios/internal/faultpoint"
 )
 
 func TestBloomNoFalseNegatives(t *testing.T) {
@@ -513,5 +515,52 @@ func TestDeleteAbsentKeyAccounting(t *testing.T) {
 	n, _ := db.Len()
 	if n != 0 {
 		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestFlushFaultThawsAndRetries(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+
+	// The injected run-write failure must surface AND thaw the frozen
+	// entries back into the memtable — nothing is lost.
+	faultpoint.ErrorOnce("kvstore.run.write")
+	if err := db.Flush(); err == nil {
+		t.Fatal("armed flush should fail")
+	}
+	if db.NumRuns() != 0 {
+		t.Fatalf("failed flush left %d runs", db.NumRuns())
+	}
+	if db.MemBytes() == 0 {
+		t.Fatal("failed flush did not thaw entries back into the memtable")
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("key-%04d lost after failed flush: %q %v %v", i, v, ok, err)
+		}
+	}
+
+	// The retry (budget exhausted) succeeds and drains everything.
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush retry: %v", err)
+	}
+	if db.NumRuns() != 1 || db.MemBytes() != 0 {
+		t.Fatalf("after retry: runs=%d mem=%d", db.NumRuns(), db.MemBytes())
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("key-%04d after retried flush: %q %v %v", i, v, ok, err)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"helios/internal/codec"
+	"helios/internal/faultpoint"
 )
 
 // run is one immutable sorted file of key/value entries plus its in-memory
@@ -52,6 +53,11 @@ func appendEntry(w *codec.Writer, key string, e entry) {
 
 // writeRun writes sorted kvs to path and returns the opened run.
 func writeRun(path string, kvs []flushEntry, bloomBits int) (*run, error) {
+	// Chaos hook for the flush/compaction write path; Flush's
+	// thaw-on-error recovery is exercised through it.
+	if err := faultpoint.Inject("kvstore.run.write"); err != nil {
+		return nil, err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 
 	"strconv"
 
+	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/metrics"
 	"helios/internal/obs"
@@ -193,6 +194,9 @@ func (t *Topic) NumPartitions() int { return len(t.parts) }
 func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error) {
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return 0, fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	if err := faultpoint.Inject("mq.append"); err != nil {
+		return 0, err
 	}
 	off, err := t.parts[partitionIdx].append(key, value)
 	if err == nil {

@@ -1,6 +1,11 @@
 package mq
 
-import "time"
+import (
+	"errors"
+	"time"
+
+	"helios/internal/rpc"
+)
 
 // Bus abstracts the broker so workers run identically against the
 // in-process Broker (tests, benches, single-machine deployments) and the
@@ -38,6 +43,16 @@ type Cursor interface {
 	Committed() int64
 	SeekTo(offset int64)
 	Lag() int64
+}
+
+// IsFatal reports whether a Bus error is terminal for a consumer loop:
+// the local broker (or the worker's own client) was closed, i.e. this
+// process is shutting down. Anything else — a dropped connection, a
+// broker mid-restart, an injected fault — is transient: the reconnecting
+// transport heals it, so poll loops should back off briefly and keep
+// polling instead of dying.
+func IsFatal(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, rpc.ErrClosed)
 }
 
 // Interface adapters for the concrete broker.

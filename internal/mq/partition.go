@@ -3,6 +3,8 @@ package mq
 import (
 	"sync"
 	"time"
+
+	"helios/internal/faultpoint"
 )
 
 // partition is one append-only, strictly ordered log. Records are held in a
@@ -62,6 +64,9 @@ func (p *partition) append(key uint64, value []byte) (int64, error) {
 // returned records alias the partition's retained window and must be
 // treated as read-only.
 func (p *partition) fetch(offset int64, max int, wait time.Duration) ([]Record, int64, error) {
+	if err := faultpoint.Inject("mq.fetch"); err != nil {
+		return nil, offset, err
+	}
 	if max <= 0 {
 		max = 1
 	}

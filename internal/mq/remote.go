@@ -1,7 +1,9 @@
 package mq
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -117,16 +119,61 @@ type RemoteBroker struct {
 	topics map[string]*RemoteTopic
 }
 
-// DialBroker connects to a broker served by ServeBroker.
+// DialBroker connects to a broker served by ServeBroker. The underlying
+// RPC client is self-healing: it reconnects with backoff after a broker
+// restart and retries failed calls a few times. Appends are therefore
+// at-least-once — a retried append may land twice, which the §4.1 replay
+// contract already tolerates (TopK inserts are idempotent, reservoir
+// duplicates are harmless noise). The broker being down at dial time is
+// not an error; the first call heals it.
 func DialBroker(addr string, timeout time.Duration) (*RemoteBroker, error) {
+	return DialBrokerOpts(addr, timeout, rpc.Options{Reconnect: true, RetryBudget: 4})
+}
+
+// DialBrokerOpts is DialBroker with explicit transport options.
+func DialBrokerOpts(addr string, timeout time.Duration, opts rpc.Options) (*RemoteBroker, error) {
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	c, err := rpc.Dial(addr)
+	c, err := rpc.DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &RemoteBroker{client: c, timeout: timeout, topics: make(map[string]*RemoteTopic)}, nil
+}
+
+// Client exposes the underlying RPC client so co-located services (the
+// coordinator heartbeat) can share the connection, and so callers can read
+// its reconnect/retry counters.
+func (rb *RemoteBroker) Client() *rpc.Client { return rb.client }
+
+// call issues an RPC. If the broker reports an unknown topic — the
+// signature of a broker that restarted with an empty topic table — the
+// topic is re-created (a restarted broker with a -dir replays its
+// retained log on CreateTopic) and the call is issued once more.
+func (rb *RemoteBroker) call(topic, method string, req []byte, timeout time.Duration) ([]byte, error) {
+	resp, err := rb.client.Call(method, req, timeout)
+	if err == nil || topic == "" || !isUnknownTopic(err) {
+		return resp, err
+	}
+	rb.mu.Lock()
+	t := rb.topics[topic]
+	rb.mu.Unlock()
+	if t == nil {
+		return resp, err
+	}
+	w := codec.NewWriter(32)
+	w.String(topic)
+	w.Uvarint(uint64(t.parts))
+	if _, rerr := rb.client.Call(methodOpenTopic, w.Bytes(), rb.timeout); rerr != nil {
+		return nil, err
+	}
+	return rb.client.Call(method, req, timeout)
+}
+
+func isUnknownTopic(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "unknown topic")
 }
 
 // OpenTopic implements Bus.
@@ -170,7 +217,7 @@ func (t *RemoteTopic) Append(partition int, key uint64, value []byte) (int64, er
 	w.Uvarint(uint64(partition))
 	w.Uvarint(key)
 	w.Bytes32(value)
-	resp, err := t.broker.client.Call(methodAppend, w.Bytes(), t.broker.timeout)
+	resp, err := t.broker.call(t.name, methodAppend, w.Bytes(), t.broker.timeout)
 	if err != nil {
 		return 0, err
 	}
@@ -206,7 +253,7 @@ func (t *RemoteTopic) meta(partition int) (next, depth int64) {
 	w := codec.NewWriter(32)
 	w.String(t.name)
 	w.Uvarint(uint64(partition))
-	resp, err := t.broker.client.Call(methodMeta, w.Bytes(), t.broker.timeout)
+	resp, err := t.broker.call(t.name, methodMeta, w.Bytes(), t.broker.timeout)
 	if err != nil {
 		return 0, 0
 	}
@@ -234,7 +281,7 @@ func (c *RemoteConsumer) Poll(max int, wait time.Duration) ([]Record, error) {
 	w.Varint(c.offset)
 	w.Uvarint(uint64(max))
 	w.Uvarint(uint64(wait / time.Millisecond))
-	resp, err := c.topic.broker.client.Call(methodFetch, w.Bytes(), wait+c.topic.broker.timeout)
+	resp, err := c.topic.broker.call(c.topic.name, methodFetch, w.Bytes(), wait+c.topic.broker.timeout)
 	if err != nil {
 		return nil, err
 	}

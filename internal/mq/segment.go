@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"helios/internal/codec"
+	"helios/internal/faultpoint"
 )
 
 // segment is the disk backing of one partition: a single append-only file
@@ -73,6 +74,9 @@ func (p *partition) replay(data []byte) error {
 }
 
 func (s *segment) append(rec Record) error {
+	if err := faultpoint.Inject("mq.segment.append"); err != nil {
+		return err
+	}
 	w := codec.NewWriter(32 + len(rec.Value))
 	w.Uvarint(uint64(rec.Offset))
 	w.Uvarint(rec.Key)

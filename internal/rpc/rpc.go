@@ -4,6 +4,15 @@
 // minimal multiplexed request/response protocol over TCP — one connection
 // carries any number of concurrent calls correlated by request ID.
 //
+// Clients come in two modes. Dial gives the classic single-connection
+// client: once the connection drops, every future call fails. DialOpts
+// with Options.Reconnect builds a self-healing client — it dials on
+// demand, re-establishes dropped connections with jittered exponential
+// backoff, and (with a RetryBudget) transparently retries calls that hit
+// transport failures. That mode is what lets the §4.1 replay story hold
+// end to end: a broker restart is a pause, not a permanent wedge, for
+// every RemoteBroker-backed worker.
+//
 // For experiments that model datacenter topologies (Fig. 4(d) varies
 // cluster size), both ends accept an injected per-call delay that stands in
 // for network RTT beyond the loopback's.
@@ -14,12 +23,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"helios/internal/clock"
+	"helios/internal/faultpoint"
 	"helios/internal/metrics"
+	"helios/internal/obs"
 )
 
 // ErrClosed reports use of a closed client or server.
@@ -40,6 +53,32 @@ const (
 
 	maxFrame = 64 << 20 // sanity bound
 )
+
+// Process-wide transport health aggregates, summed across every client in
+// the process and exposed by RegisterMetrics. Per-client counters live on
+// the Client itself.
+var (
+	totalReconnects   metrics.Counter
+	totalRetries      metrics.Counter
+	totalDialFailures metrics.Counter
+)
+
+// TotalReconnects reports successful re-dials across all clients.
+func TotalReconnects() int64 { return totalReconnects.Value() }
+
+// TotalRetries reports call retries across all clients.
+func TotalRetries() int64 { return totalRetries.Value() }
+
+// TotalDialFailures reports failed dial attempts across all clients.
+func TotalDialFailures() int64 { return totalDialFailures.Value() }
+
+// RegisterMetrics exposes the process-wide transport counters on reg:
+// rpc.reconnects, rpc.retries, rpc.dial_failures.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rpc.reconnects", totalReconnects.Value)
+	reg.CounterFunc("rpc.retries", totalRetries.Value)
+	reg.CounterFunc("rpc.dial_failures", totalDialFailures.Value)
+}
 
 // Handler processes one request payload and returns the response payload.
 type Handler func(req []byte) ([]byte, error)
@@ -64,7 +103,8 @@ type Server struct {
 	Delay time.Duration
 
 	// Requests counts request frames dispatched; Errors counts handler
-	// failures (including unknown methods and panics).
+	// failures (including unknown methods and panics) and failed response
+	// writes.
 	Requests metrics.Counter
 	Errors   metrics.Counter
 }
@@ -174,10 +214,28 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer writeMu.Unlock()
 			if herr != nil {
 				s.Errors.Inc()
-				writeFrame(conn, frameError, id, trace, "", []byte(herr.Error()))
+				if werr := writeFrame(conn, frameError, id, trace, "", []byte(herr.Error())); werr != nil {
+					s.Errors.Inc()
+					conn.Close()
+				}
 				return
 			}
-			writeFrame(conn, frameResponse, id, trace, "", resp)
+			if faultpoint.Dropped("rpc.server.write") {
+				// Chaos hook: swallow the response, leaving the client to
+				// its timeout (or retry budget).
+				return
+			}
+			werr := faultpoint.Inject("rpc.server.write")
+			if werr == nil {
+				werr = writeFrame(conn, frameResponse, id, trace, "", resp)
+			}
+			if werr != nil {
+				// A failed response write would leave the peer waiting out
+				// its full timeout; count it and close the connection so
+				// the client's readLoop fails fast instead.
+				s.Errors.Inc()
+				conn.Close()
+			}
 		}()
 	}
 }
@@ -265,22 +323,111 @@ func readFrame(r io.Reader) (typ byte, id, trace uint64, method string, payload 
 	return
 }
 
-// Client is a multiplexed RPC client over one TCP connection.
+// Options configures a client built by DialOpts. The zero value reproduces
+// Dial's behaviour (single connection, no retries).
+type Options struct {
+	// Reconnect makes the client self-healing: it dials lazily, and when a
+	// connection drops it re-dials on the next call with jittered
+	// exponential backoff between consecutive failed attempts. DialOpts
+	// with Reconnect never fails at construction — the target being down
+	// at boot is just the first outage to heal.
+	Reconnect bool
+
+	// RetryBudget is how many times a single Call is re-issued after a
+	// transport failure (broken connection, failed dial). Remote handler
+	// errors, timeouts, and ErrClosed are never retried. Only enable
+	// retries for idempotent methods; with at-least-once semantics a
+	// retried call may execute twice on the server. Requires Reconnect.
+	RetryBudget int
+
+	// BackoffBase and BackoffMax bound the reconnect backoff: attempt n
+	// (counting consecutive failures) waits a uniformly jittered duration
+	// in [b/2, b] where b = min(BackoffBase<<(n-1), BackoffMax).
+	// Defaults: 20ms base, 2s max.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed seeds the jitter source, making backoff sequences reproducible
+	// in tests. Zero means seed 1.
+	Seed int64
+
+	// Clock paces dial attempts (time already elapsed since the previous
+	// attempt is credited against the backoff wait). Defaults to the wall
+	// clock; tests inject a fake.
+	Clock clock.Clock
+
+	// Sleep performs the backoff wait. Defaults to time.Sleep; tests
+	// inject a recorder to assert the backoff sequence without waiting.
+	Sleep func(time.Duration)
+
+	// Delay is slept inside every Call, simulating network RTT.
+	Delay time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 20 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Wall()
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// Client is a multiplexed RPC client. In the default (Dial) mode it owns
+// one TCP connection for its lifetime; in reconnect mode (DialOpts with
+// Options.Reconnect) the connection is re-established on demand and calls
+// may be retried within Options.RetryBudget.
 type Client struct {
-	conn    net.Conn
+	addr string
+	opts Options
+
 	writeMu sync.Mutex
-	mu      sync.Mutex
-	pending map[uint64]chan result
+	mu      sync.Mutex // guards pending
+	pending map[uint64]pendingCall
 	nextID  atomic.Uint64
 	closed  atomic.Bool
+
+	// connMu guards the connection lifecycle state below.
+	connMu   sync.Mutex
+	conn     net.Conn
+	gen      uint64 // bumped per established connection
+	connErr  error  // why the last connection died (non-reconnect mode)
+	dialing  bool
+	dialDone chan struct{}
+	failures int // consecutive failed dial attempts
+	lastDial time.Time
+	everConn bool
+	rng      *rand.Rand
 
 	// Delay is slept inside every Call, simulating network RTT.
 	Delay time.Duration
 
 	// Calls counts calls issued; Errors counts calls that returned an
-	// error (remote, transport, or timeout).
+	// error (remote, transport, or timeout) after exhausting any retries.
 	Calls  metrics.Counter
 	Errors metrics.Counter
+
+	// Reconnects counts successful re-dials after a connection loss;
+	// Retries counts per-call retry attempts; DialFailures counts failed
+	// dial attempts. The same events also feed the process-wide
+	// rpc.reconnects / rpc.retries / rpc.dial_failures aggregates.
+	Reconnects   metrics.Counter
+	Retries      metrics.Counter
+	DialFailures metrics.Counter
+}
+
+type pendingCall struct {
+	ch  chan result
+	gen uint64
 }
 
 type result struct {
@@ -288,26 +435,144 @@ type result struct {
 	err     error
 }
 
-// Dial connects to a server.
+// Dial connects to a server with the classic single-connection contract:
+// the dial happens eagerly (and its error is returned), and once the
+// connection drops every future call fails.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialOpts(addr, Options{})
+}
+
+// DialOpts connects to a server with explicit Options. Without
+// Options.Reconnect it behaves exactly like Dial. With Reconnect the
+// client is returned immediately and connects lazily, so it never fails
+// at construction.
+func DialOpts(addr string, opts Options) (*Client, error) {
+	opts.fillDefaults()
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		pending: make(map[uint64]pendingCall),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		Delay:   opts.Delay,
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+	if !opts.Reconnect {
+		if _, _, err := c.getConn(); err != nil {
+			return nil, err
+		}
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]chan result)}
-	//lint:allow goroutinestop readLoop exits when the connection closes: Close() tears down conn, which unblocks readFrame with an error
-	go c.readLoop()
 	return c, nil
 }
 
-func (c *Client) readLoop() {
+// getConn returns the live connection, dialing if necessary (reconnect
+// mode) or surfacing why there is none (single-connection mode). Exactly
+// one caller dials at a time; concurrent callers wait for its outcome.
+func (c *Client) getConn() (net.Conn, uint64, error) {
 	for {
-		typ, id, _, _, payload, err := readFrame(c.conn)
+		if c.closed.Load() {
+			return nil, 0, ErrClosed
+		}
+		c.connMu.Lock()
+		if c.conn != nil {
+			conn, gen := c.conn, c.gen
+			c.connMu.Unlock()
+			return conn, gen, nil
+		}
+		if c.everConn && !c.opts.Reconnect {
+			err := c.connErr
+			c.connMu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return nil, 0, err
+		}
+		if c.dialing {
+			done := c.dialDone
+			c.connMu.Unlock()
+			<-done
+			continue
+		}
+		c.dialing = true
+		c.dialDone = make(chan struct{})
+		var wait time.Duration
+		if c.failures > 0 {
+			wait = c.backoffLocked(c.failures)
+			if elapsed := c.opts.Clock.Now().Sub(c.lastDial); elapsed > 0 {
+				wait -= elapsed
+			}
+		}
+		c.connMu.Unlock()
+
+		if wait > 0 {
+			c.opts.Sleep(wait)
+		}
+		err := faultpoint.Inject("rpc.dial")
+		var conn net.Conn
+		if err == nil {
+			conn, err = net.Dial("tcp", c.addr)
+		}
+
+		c.connMu.Lock()
+		c.dialing = false
+		close(c.dialDone)
+		c.lastDial = c.opts.Clock.Now()
+		if c.closed.Load() {
+			c.connMu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+			return nil, 0, ErrClosed
+		}
 		if err != nil {
-			c.failAll(err)
+			c.failures++
+			c.connMu.Unlock()
+			c.DialFailures.Inc()
+			totalDialFailures.Inc()
+			return nil, 0, err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if c.everConn {
+			c.Reconnects.Inc()
+			totalReconnects.Inc()
+		}
+		c.everConn = true
+		c.failures = 0
+		c.conn = conn
+		c.gen++
+		gen := c.gen
+		c.connMu.Unlock()
+		//lint:allow goroutinestop readLoop exits when its connection closes: Close() and reconnection both tear down conn, which unblocks readFrame with an error
+		go c.readLoop(conn, gen)
+		return conn, gen, nil
+	}
+}
+
+// backoffLocked returns the jittered wait before the next dial attempt
+// after `failures` consecutive failed attempts. Callers hold connMu (the
+// jitter source is not otherwise synchronized).
+func (c *Client) backoffLocked(failures int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 1; i < failures; i++ {
+		d <<= 1
+		if d >= c.opts.BackoffMax || d <= 0 {
+			d = c.opts.BackoffMax
+			break
+		}
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	// Uniform jitter in [d/2, d] decorrelates reconnect storms when many
+	// workers lose the same broker at once.
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	for {
+		typ, id, _, _, payload, err := readFrame(conn)
+		if err != nil {
+			c.dropConn(conn, gen, err)
 			return
 		}
 		var res result
@@ -318,30 +583,49 @@ func (c *Client) readLoop() {
 			res = result{payload: payload}
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[id]
+		pc, ok := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if ok {
-			ch <- res
+			pc.ch <- res
 		}
 	}
 }
 
-func (c *Client) failAll(err error) {
+// dropConn retires a dead connection: closes it, detaches it from the
+// client if it is still current, and fails every call in flight on it.
+func (c *Client) dropConn(conn net.Conn, gen uint64, err error) {
+	conn.Close()
+	c.connMu.Lock()
+	if c.gen == gen && c.conn == conn {
+		c.conn = nil
+		c.connErr = err
+	}
+	c.connMu.Unlock()
+	c.failGen(gen, err)
+}
+
+// failGen fails every pending call registered on connection generations
+// up to and including gen. Calls on newer connections are untouched.
+func (c *Client) failGen(gen uint64, err error) {
 	if c.closed.Load() {
 		err = ErrClosed
 	}
-	// Detach the pending set under the lock, deliver after releasing it:
+	// Detach matching entries under the lock, deliver after releasing it:
 	// each result channel is buffered so the sends cannot block, but
 	// holding a mutex across channel sends is the pattern the
 	// lockacrossblock analyzer bans, and the detached form needs no
-	// exemption. Calls registering after the swap fail on their own write
-	// to the broken connection.
+	// exemption.
 	c.mu.Lock()
-	pending := c.pending
-	c.pending = make(map[uint64]chan result)
+	var detached []chan result
+	for id, pc := range c.pending {
+		if pc.gen <= gen {
+			delete(c.pending, id)
+			detached = append(detached, pc.ch)
+		}
+	}
 	c.mu.Unlock()
-	for _, ch := range pending {
+	for _, ch := range detached {
 		ch <- result{err: err}
 	}
 }
@@ -354,6 +638,8 @@ func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte,
 
 // CallTraced is Call with a trace ID carried in the frame header, so the
 // remote handler (HandleTraced) can tag its spans with the caller's trace.
+// In reconnect mode, transport failures are retried up to
+// Options.RetryBudget times; each attempt gets the full timeout.
 func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout time.Duration) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -362,20 +648,60 @@ func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout tim
 	if c.Delay > 0 {
 		time.Sleep(c.Delay)
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		payload, err := c.callOnce(method, trace, req, timeout)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		if !retryable(err) || attempt >= c.opts.RetryBudget || c.closed.Load() {
+			break
+		}
+		c.Retries.Inc()
+		totalRetries.Inc()
+	}
+	c.Errors.Inc()
+	return nil, lastErr
+}
+
+// retryable reports whether err is a transport-level failure worth
+// re-issuing the call for. Handler errors already executed remotely,
+// timeouts may still be executing, and ErrClosed is final — none retry.
+func retryable(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrClosed)
+}
+
+// callOnce runs a single request/response exchange on the current (or
+// freshly dialed) connection.
+func (c *Client) callOnce(method string, trace uint64, req []byte, timeout time.Duration) ([]byte, error) {
+	conn, gen, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
 	id := c.nextID.Add(1)
 	ch := make(chan result, 1)
 	c.mu.Lock()
-	c.pending[id] = ch
+	c.pending[id] = pendingCall{ch: ch, gen: gen}
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, frameRequest, id, trace, method, req)
+	err = faultpoint.Inject("rpc.client.write")
+	if err == nil {
+		err = writeFrame(conn, frameRequest, id, trace, method, req)
+	}
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		c.Errors.Inc()
+		// Retire the connection so the next attempt re-dials instead of
+		// re-hitting the same broken pipe.
+		c.dropConn(conn, gen, err)
 		return nil, err
 	}
 
@@ -387,23 +713,30 @@ func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout tim
 	}
 	select {
 	case res := <-ch:
-		if res.err != nil {
-			c.Errors.Inc()
-		}
 		return res.payload, res.err
 	case <-timer:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		c.Errors.Inc()
 		return nil, ErrTimeout
 	}
 }
 
-// Close tears the connection down; in-flight calls fail with ErrClosed.
+// Close tears the client down; in-flight calls fail with ErrClosed and a
+// reconnecting client stops re-dialing.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	return c.conn.Close()
+	c.connMu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	// Defensive sweep for calls registered in the close window; normal
+	// teardown already fails them via the readLoop's dropConn.
+	c.failGen(^uint64(0), ErrClosed)
+	return nil
 }

@@ -22,6 +22,7 @@ package sampler
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -153,7 +154,12 @@ type Worker struct {
 	sweeper             *actor.Loop
 	sweepStop           chan struct{}
 	// started is atomic because the background sweeper reads it (via
-	// Sweep) while Stop clears it from the control goroutine.
+	// Sweep) while Stop clears it from the control goroutine. lifeMu
+	// additionally serializes whole Start/Stop bodies, so a concurrent
+	// Stop cannot run against half-wired pools. Sweep must never take
+	// lifeMu: Stop holds it while waiting for the sweeper loop (which
+	// calls Sweep) to exit.
+	lifeMu  sync.Mutex
 	started atomic.Bool
 
 	// Metric handles resolved from cfg.Metrics at construction.
@@ -269,14 +275,17 @@ func (w *Worker) registerMetrics() {
 
 // Start launches the pools and polling loops.
 func (w *Worker) Start() {
-	if !w.started.CompareAndSwap(false, true) {
+	// Cursors are plain structs opened outside lifeMu (cheap, no resources
+	// held) — a Start that loses the started race just drops them.
+	updCons := w.updatesTopic.OpenConsumer(w.cfg.ID, w.startUpd)
+	subCons := w.subsTopic.OpenConsumer(w.cfg.ID, w.startSubs)
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
+	if w.started.Load() {
 		return
 	}
 	w.publish = actor.NewPool("publish", w.cfg.PublishThreads, w.cfg.MailboxDepth, w.handlePublish)
 	w.sampling = actor.NewPool("sampling", w.cfg.SampleThreads, w.cfg.MailboxDepth, w.handleEvent)
-
-	updCons := w.updatesTopic.OpenConsumer(w.cfg.ID, w.startUpd)
-	subCons := w.subsTopic.OpenConsumer(w.cfg.ID, w.startSubs)
 	// Dedicated pollers per input stream; consumers are not safe for
 	// concurrent use, so each stream gets exactly one goroutine.
 	w.pollers = actor.NewLoop(2, func(worker int) bool {
@@ -299,6 +308,8 @@ func (w *Worker) Start() {
 			return true
 		})
 	}
+	// Publish started only once the pools are wired: Sweep gates on it.
+	w.started.Store(true)
 }
 
 // Sweep schedules one TTL sweep pass on every sampling shard, using the
@@ -317,6 +328,8 @@ func (w *Worker) Sweep() {
 // Stop drains the pipeline: polling halts, the sampling pool finishes its
 // backlog (publishing as it goes), then the publisher pool drains.
 func (w *Worker) Stop() {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	if !w.started.CompareAndSwap(true, false) {
 		return
 	}
@@ -329,12 +342,29 @@ func (w *Worker) Stop() {
 	w.publish.Close()
 }
 
-const pollBatch = 512
+const (
+	pollBatch = 512
+	// pollRetryDelay paces a poll loop while the broker is unreachable.
+	pollRetryDelay = 50 * time.Millisecond
+)
+
+// pollRetry decides a poll loop's fate after a Poll error: exit on a
+// fatal (closed-on-shutdown) error, otherwise pause briefly and keep
+// polling — a broker mid-restart is healed by the reconnecting transport,
+// and the §4.1 replay contract makes re-reading from the committed offset
+// safe.
+func (w *Worker) pollRetry(err error) bool {
+	if mq.IsFatal(err) {
+		return false
+	}
+	time.Sleep(pollRetryDelay)
+	return true
+}
 
 func (w *Worker) pollUpdates(c mq.Cursor) bool {
 	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
 	if err != nil {
-		return false // broker closed
+		return w.pollRetry(err)
 	}
 	for _, rec := range recs {
 		u, err := codec.DecodeUpdate(rec.Value)
@@ -387,7 +417,7 @@ func (w *Worker) routeUpdate(u graph.Update) {
 func (w *Worker) pollSubs(c mq.Cursor) bool {
 	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
 	if err != nil {
-		return false
+		return w.pollRetry(err)
 	}
 	for _, rec := range recs {
 		m, err := wire.Decode(rec.Value)

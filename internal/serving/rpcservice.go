@@ -17,6 +17,10 @@ import (
 // MethodSample is the RPC method name for sampling queries.
 const MethodSample = "helios.sample"
 
+// MethodPing is the health-probe method the frontend uses to re-admit a
+// replica it marked unhealthy after a failed call.
+const MethodPing = "helios.ping"
+
 // AppendResult encodes a Result.
 func AppendResult(w *codec.Writer, res *Result) {
 	w.Uvarint(uint64(len(res.Layers)))
@@ -112,6 +116,9 @@ func errOr(r *codec.Reader, fallback error) error {
 // trace ID (if any) rides into the serving pool so the worker records its
 // leg of the trace and returns the stage spans to the caller.
 func ServeRPC(w *Worker, srv *rpc.Server) {
+	srv.Handle(MethodPing, func(req []byte) ([]byte, error) {
+		return nil, nil
+	})
 	srv.HandleTraced(MethodSample, func(trace uint64, req []byte) ([]byte, error) {
 		r := codec.NewReader(req)
 		qid := query.ID(r.Uvarint())
@@ -137,16 +144,32 @@ type Client struct {
 	timeout time.Duration
 }
 
-// DialServing connects to a serving worker's RPC endpoint.
+// DialServing connects to a serving worker's RPC endpoint. The client is
+// self-healing: a dropped connection is re-dialed with backoff and a
+// failed call retried once (sampling is read-only, so a duplicate is
+// free). The worker being down at dial time is not an error.
 func DialServing(addr string, timeout time.Duration) (*Client, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	c, err := rpc.Dial(addr)
+	c, err := rpc.DialOpts(addr, rpc.Options{Reconnect: true, RetryBudget: 1})
 	if err != nil {
 		return nil, err
 	}
 	return &Client{c: c, timeout: timeout}, nil
+}
+
+// RPC exposes the underlying transport client (reconnect/retry counters).
+func (c *Client) RPC() *rpc.Client { return c.c }
+
+// Ping probes the worker's liveness with a short deadline and no retries
+// beyond the transport's own budget.
+func (c *Client) Ping(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	_, err := c.c.Call(MethodPing, nil, timeout)
+	return err
 }
 
 // Sample executes a sampling query on the remote worker.

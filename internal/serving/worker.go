@@ -12,6 +12,7 @@ package serving
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -178,7 +179,13 @@ type Worker struct {
 	updatePool   *actor.Pool[wire.Message]
 	servePool    *actor.Pool[Request]
 	sweeper      *actor.Loop
-	started      bool
+	sweepStop    chan struct{}
+
+	// lifeMu serializes Start/Stop; started alone is not enough — a
+	// concurrent Stop must not observe started=true before Start has
+	// finished wiring the pools.
+	lifeMu  sync.Mutex
+	started bool
 
 	// Metric handles resolved from cfg.Metrics at construction; updates
 	// stay lock-free on the hot path.
@@ -243,17 +250,26 @@ func (w *Worker) registerMetrics() {
 
 // Start launches the pools and polling loop.
 func (w *Worker) Start() {
+	// The cursor is a plain struct opened outside lifeMu (cheap, no
+	// resources held) — a Start that loses the started race just drops it.
+	cons := w.samplesTopic.OpenConsumer(w.cfg.ID, 0)
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	if w.started {
 		return
 	}
 	w.started = true
 	w.updatePool = actor.NewPool("cache-update", w.cfg.UpdateThreads, w.cfg.MailboxDepth, w.applyMessage)
 	w.servePool = actor.NewPool("serve", w.cfg.ServeThreads, w.cfg.MailboxDepth, w.handleRequest)
-	cons := w.samplesTopic.OpenConsumer(w.cfg.ID, 0)
 	w.pollers = actor.NewLoop(1, func(int) bool { return w.poll(cons) })
 	if w.cfg.TTL > 0 {
+		w.sweepStop = make(chan struct{})
 		w.sweeper = actor.NewLoop(1, func(int) bool {
-			time.Sleep(w.cfg.TTL / 4)
+			select {
+			case <-w.sweepStop:
+				return false
+			case <-time.After(w.cfg.TTL / 4):
+			}
 			w.sweep(w.cfg.Clock.Now().Add(-w.cfg.TTL).UnixNano())
 			return true
 		})
@@ -263,12 +279,15 @@ func (w *Worker) Start() {
 // Stop halts polling, drains the update and serve pools, and closes the
 // cache store.
 func (w *Worker) Stop() {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
 	if !w.started {
 		return
 	}
 	w.started = false
 	w.pollers.Stop()
 	if w.sweeper != nil {
+		close(w.sweepStop)
 		w.sweeper.Stop()
 	}
 	w.updatePool.Close()
@@ -276,12 +295,22 @@ func (w *Worker) Stop() {
 	w.db.Close()
 }
 
-const pollBatch = 512
+const (
+	pollBatch = 512
+	// pollRetryDelay paces the poll loop while the broker is unreachable.
+	pollRetryDelay = 50 * time.Millisecond
+)
 
 func (w *Worker) poll(c mq.Cursor) bool {
 	recs, err := c.Poll(pollBatch, 50*time.Millisecond)
 	if err != nil {
-		return false
+		if mq.IsFatal(err) {
+			return false
+		}
+		// Transient (broker restarting, injected fault): pause briefly and
+		// keep polling — the reconnecting transport heals underneath.
+		time.Sleep(pollRetryDelay)
+		return true
 	}
 	for _, rec := range recs {
 		m, err := wire.Decode(rec.Value)

@@ -3,9 +3,11 @@ package serving
 import (
 	"bytes"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
+	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/mq"
 	"helios/internal/query"
@@ -291,4 +293,76 @@ func TestResetLatencies(t *testing.T) {
 	if w.Stats().QueryLatency.Count != 0 {
 		t.Fatal("reset failed")
 	}
+}
+
+func TestStopReturnsPromptlyWithLongTTL(t *testing.T) {
+	// Regression: the sweeper used to time.Sleep(TTL/4) inside its loop,
+	// so Stop blocked until the sleep expired — up to TTL/4.
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w, err := New(Config{
+		ID: 0, NumServers: 1,
+		Plans:  []*query.Plan{testPlan(t)},
+		Broker: b,
+		TTL:    time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	done := make(chan struct{})
+	go func() {
+		w.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop blocked on the sweeper's TTL/4 sleep")
+	}
+}
+
+func TestConcurrentStartStop(t *testing.T) {
+	// Start/Stop from racing goroutines must neither panic on half-wired
+	// pools nor trip the race detector on the started flag.
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				w.Start()
+				w.Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	w.Stop()
+}
+
+func TestPollSurvivesTransientFault(t *testing.T) {
+	defer faultpoint.Reset()
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	// Arm before Start so the very first fetches fail; the loop must ride
+	// through them rather than die.
+	faultpoint.ErrorN("mq.fetch", 3)
+	w.Start()
+	defer w.Stop()
+
+	hop := testPlan(t).OneHops[0].ID
+	push(t, b, &wire.Message{Kind: wire.KindSampleUpsert, Hop: hop, Vertex: 7,
+		Samples: []wire.SampleRef{{Neighbor: 8, Ts: 1}}})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.HasSample(hop, 7) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("poll loop did not survive the transient fetch fault")
 }
