@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check obs-smoke chaos-smoke
+.PHONY: build vet lint test race check obs-smoke chaos-smoke burst-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ obs-smoke:
 # counters (see scripts/chaos-smoke.sh).
 chaos-smoke:
 	bash scripts/chaos-smoke.sh
+
+# Slows the serve path and storms examples/distributed -burst with a small
+# end-to-end budget; asserts typed sheds, degraded answers and recovery
+# (see scripts/burst-smoke.sh).
+burst-smoke:
+	bash scripts/burst-smoke.sh
 
 # The tier-1 gate: every PR must leave this green.
 check:

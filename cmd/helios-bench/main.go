@@ -29,6 +29,7 @@ import (
 
 	"helios/internal/experiments"
 	"helios/internal/obs"
+	"helios/internal/overload"
 )
 
 func main() {
@@ -44,6 +45,10 @@ func main() {
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	// Overload aggregates (overload.shed, overload.degraded,
+	// overload.queue_wait_p99_ns) land in every BENCH snapshot so a run
+	// that shed load is distinguishable from one that absorbed it.
+	overload.RegisterMetrics(obs.Default())
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
 		log.Fatalf("helios-bench: ops listener: %v", err)

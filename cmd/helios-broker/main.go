@@ -21,12 +21,14 @@ import (
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/rpc"
+	"helios/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
 	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	maxIngestLag := flag.Int64("max-ingest-lag", 0, "refuse appends to the updates topic once a partition's unconsumed backlog exceeds this (0 = unlimited)")
 	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.append=error:injected:3 (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
@@ -36,6 +38,9 @@ func main() {
 		log.Fatalf("helios-broker: %v", err)
 	}
 	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
+	if *maxIngestLag > 0 {
+		broker.SetLagBound(wire.TopicUpdates, *maxIngestLag)
+	}
 	broker.RegisterMetrics(obs.Default())
 	rpc.RegisterMetrics(obs.Default())
 	coordinator := coord.New(nil)

@@ -33,6 +33,11 @@ func main() {
 	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, partition-major (see replicas)")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	probeEvery := flag.Duration("probe-every", time.Second, "health-probe interval for unhealthy serving replicas")
+	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end deadline budget per sampling request (0 = config's overload.requestTimeoutMs, or none)")
+	maxInflight := flag.Int("max-inflight", 0, "admitted concurrent sampling requests (0 = config's overload.maxInflight, or unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "sampling requests queued for admission (0 = config's overload.maxQueue, or 4×max-inflight)")
+	maxIngestLag := flag.Int64("max-ingest-lag", 0, "shed ingestion once a partition's updates backlog exceeds this (0 = config's overload.maxIngestLag, or unlimited)")
+	lagProbeEvery := flag.Duration("lag-probe-every", 250*time.Millisecond, "how often to refresh the cached per-partition ingest backlog")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.dial=error (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	flag.Parse()
@@ -61,6 +66,26 @@ func main() {
 	defer fe.Close()
 	fe.SetProbeInterval(*probeEvery)
 	fe.UseObs(nil, obs.Default(), obs.DefaultTracer())
+	o := frontend.Overload{
+		RequestTimeout: *requestTimeout,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		MaxIngestLag:   *maxIngestLag,
+		LagProbeEvery:  *lagProbeEvery,
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = time.Duration(cfg.File.Overload.RequestTimeoutMS) * time.Millisecond
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = cfg.File.Overload.MaxInflight
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = cfg.File.Overload.MaxQueue
+	}
+	if o.MaxIngestLag == 0 {
+		o.MaxIngestLag = cfg.File.Overload.MaxIngestLag
+	}
+	fe.SetOverload(o)
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
 		log.Fatalf("helios-frontend: ops listener: %v", err)

@@ -33,6 +33,7 @@ func main() {
 	sampleThreads := flag.Int("sample-threads", 0, "sampling actor count (0 = default)")
 	publishThreads := flag.Int("publish-threads", 0, "publisher actor count (0 = default)")
 	seed := flag.Int64("seed", 1, "sampling RNG seed")
+	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often poll positions are committed to the broker (the ingestion-lag signal)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
@@ -65,6 +66,7 @@ func main() {
 		PublishThreads: *publishThreads,
 		TTL:            cfg.TTL,
 		Seed:           *seed,
+		CommitEvery:    *commitEvery,
 		Metrics:        obs.Default(),
 	})
 	if err != nil {

@@ -26,6 +26,14 @@ import (
 	"helios/internal/serving"
 )
 
+// pick returns the flag value when set, else the config default.
+func pick(flagVal, cfgVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return cfgVal
+}
+
 func main() {
 	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
@@ -34,6 +42,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "hybrid-mode cache spill directory (empty = memory only)")
 	cacheBudget := flag.Int64("cache-mem", 0, "cache memory budget in bytes before spilling (0 = default)")
 	serveThreads := flag.Int("serve-threads", 0, "serving actor count (0 = default)")
+	serveInflight := flag.Int("serve-inflight", 0, "admitted concurrent sampling RPCs (0 = config's overload.maxInflight, or 4×serve-threads)")
+	serveQueue := flag.Int("serve-queue", 0, "sampling RPCs queued for admission (0 = config's overload.maxQueue, or mailbox depth)")
+	degrade := flag.Bool("degrade", false, "serve degraded (cached, staleness-tagged) results instead of shedding when saturated (config's overload.degrade also enables)")
+	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often the sample-queue poll position is committed to the broker")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.fetch=error:injected:3 (chaos drills)")
@@ -55,15 +67,19 @@ func main() {
 	defer bus.Close()
 
 	w, err := serving.New(serving.Config{
-		ID:           *id,
-		NumServers:   cfg.File.Servers,
-		Plans:        cfg.Plans,
-		Broker:       bus,
-		Store:        kvstore.Options{Dir: *cacheDir, MemBudgetBytes: *cacheBudget},
-		ServeThreads: *serveThreads,
-		TTL:          cfg.TTL,
-		Metrics:      obs.Default(),
-		Tracer:       obs.DefaultTracer(),
+		ID:            *id,
+		NumServers:    cfg.File.Servers,
+		Plans:         cfg.Plans,
+		Broker:        bus,
+		Store:         kvstore.Options{Dir: *cacheDir, MemBudgetBytes: *cacheBudget},
+		ServeThreads:  *serveThreads,
+		TTL:           cfg.TTL,
+		MaxInflight:   pick(*serveInflight, cfg.File.Overload.MaxInflight),
+		MaxAdmitQueue: pick(*serveQueue, cfg.File.Overload.MaxQueue),
+		Degrade:       *degrade || cfg.File.Overload.Degrade,
+		CommitEvery:   *commitEvery,
+		Metrics:       obs.Default(),
+		Tracer:        obs.DefaultTracer(),
 	})
 	if err != nil {
 		log.Fatalf("helios-server: %v", err)

@@ -19,12 +19,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"helios/internal/deploy"
+	"helios/internal/faultpoint"
 	"helios/internal/frontend"
 	"helios/internal/mq"
 	"helios/internal/obs"
+	"helios/internal/overload"
 	"helios/internal/rpc"
 	"helios/internal/sampler"
 	"helios/internal/serving"
@@ -47,6 +51,7 @@ func main() {
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
 	linger := flag.Duration("linger", 0, "keep the deployment alive this long after the demo (for ops scraping)")
 	chaos := flag.Bool("chaos", false, "after the demo, kill and restart the broker endpoint and prove reconvergence")
+	burst := flag.Bool("burst", false, "after the demo, slow the serve path and fire a request storm to demo admission control and graceful degradation")
 	flag.Parse()
 
 	cfg, err := deploy.Parse([]byte(clusterConfig))
@@ -108,10 +113,17 @@ func main() {
 			log.Fatal(err)
 		}
 		defer bus.Close()
-		w, err := serving.New(serving.Config{
+		scfg := serving.Config{
 			ID: i, NumServers: cfg.File.Servers, Plans: cfg.Plans, Broker: bus,
 			Metrics: reg, Tracer: tracer,
-		})
+		}
+		if *burst {
+			// Tiny admission capacity plus the degraded path, so the storm
+			// visibly saturates serving and falls back to cached answers.
+			scfg.MaxInflight, scfg.MaxAdmitQueue = 2, 2
+			scfg.Degrade, scfg.DegradeInflight = true, 4
+		}
+		w, err := serving.New(scfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -278,6 +290,79 @@ func main() {
 		}
 		fmt.Printf("chaos reconvergence complete (reconnects=%d retries=%d)\n",
 			rpc.TotalReconnects(), rpc.TotalRetries())
+	}
+
+	if *burst {
+		// Slow every cache assembly and fire a storm with a small
+		// end-to-end budget: the frontend sheds what it cannot admit, the
+		// serving workers degrade what they cannot refresh, and every
+		// refusal is a typed 503/504 — never a hang.
+		const budget = 300 * time.Millisecond
+		fe.SetOverload(frontend.Overload{RequestTimeout: budget, MaxInflight: 8, MaxQueue: 4})
+		overload.RegisterMetrics(reg)
+		fmt.Println("burst: delaying serve path and storming the gateway")
+		faultpoint.Delay("serving.sample", 1<<20, 20*time.Millisecond)
+
+		const clients, perEach = 16, 12
+		var okN, degradedN, shedN, deadlineN, otherN atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < perEach; r++ {
+					resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+					if err != nil {
+						otherN.Add(1)
+						continue
+					}
+					var out struct {
+						Degraded bool `json:"degraded"`
+					}
+					json.NewDecoder(resp.Body).Decode(&out)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusOK && out.Degraded:
+						degradedN.Add(1)
+					case resp.StatusCode == http.StatusOK:
+						okN.Add(1)
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						shedN.Add(1)
+					case resp.StatusCode == http.StatusGatewayTimeout:
+						deadlineN.Add(1)
+					default:
+						otherN.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		faultpoint.Disarm("serving.sample")
+		if otherN.Load() > 0 {
+			log.Fatalf("burst: %d responses were neither served, shed (503) nor expired (504)", otherN.Load())
+		}
+		if shedN.Load()+deadlineN.Load() == 0 {
+			log.Fatal("burst: storm completed without a single shed or deadline refusal")
+		}
+
+		// The burst drains: a clean request succeeds again.
+		recover := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+			if err == nil {
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				break
+			}
+			if time.Now().After(recover) {
+				log.Fatal("burst: gateway never recovered after the storm drained")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("burst drill complete (ok=%d degraded=%d shed=%d deadline=%d total_shed=%d total_degraded=%d)\n",
+			okN.Load(), degradedN.Load(), shedN.Load(), deadlineN.Load(),
+			overload.TotalShed(), overload.TotalDegraded())
 	}
 
 	if *linger > 0 {

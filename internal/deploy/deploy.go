@@ -33,6 +33,28 @@ type File struct {
 	Queries []string `json:"queries"`
 	// TTLSeconds expires stale state; 0 disables.
 	TTLSeconds int `json:"ttlSeconds"`
+	// Overload holds the deployment's admission-control defaults; binaries
+	// may override each knob with their flags.
+	Overload OverloadFile `json:"overload,omitempty"`
+}
+
+// OverloadFile is the deployment-wide overload policy (see
+// internal/overload): end-to-end deadlines, admission bounds, ingestion
+// backpressure, and graceful degradation. Zero values disable each bound.
+type OverloadFile struct {
+	// RequestTimeoutMS is the frontend's end-to-end deadline budget per
+	// sampling request, in milliseconds.
+	RequestTimeoutMS int `json:"requestTimeoutMs,omitempty"`
+	// MaxInflight / MaxQueue bound admitted and admission-queued sampling
+	// requests at the frontend and each serving worker.
+	MaxInflight int `json:"maxInflight,omitempty"`
+	MaxQueue    int `json:"maxQueue,omitempty"`
+	// MaxIngestLag sheds ingestion once a partition's unconsumed updates
+	// backlog exceeds this bound (enforced at the frontend and the broker).
+	MaxIngestLag int64 `json:"maxIngestLag,omitempty"`
+	// Degrade lets saturated serving workers answer from the cache inline
+	// (results tagged degraded) instead of shedding outright.
+	Degrade bool `json:"degrade,omitempty"`
 }
 
 // EdgeType is one schema edge declaration.

@@ -22,6 +22,7 @@ import (
 	"helios/internal/metrics"
 	"helios/internal/mq"
 	"helios/internal/obs"
+	"helios/internal/overload"
 	"helios/internal/query"
 	"helios/internal/rpc"
 	"helios/internal/serving"
@@ -56,15 +57,29 @@ type Frontend struct {
 	probeStop  chan struct{}
 	closeOnce  sync.Once
 
+	// Overload state (see SetOverload). limiter is nil until admission
+	// control is enabled; lags caches per-partition ingest backlog refreshed
+	// by the lag watcher.
+	limiter      *overload.Limiter
+	reqTimeout   time.Duration
+	maxIngestLag atomic.Int64
+	lags         []atomic.Int64
+	lagLoop      *actor.Loop
+	lagStop      chan struct{}
+
 	clk    clock.Clock
 	reg    *obs.Registry
 	tracer *obs.Tracer
 
 	// Requests / Updates count routed traffic; Failovers counts replica
 	// calls abandoned for the next replica after a transport failure.
-	Requests  metrics.Counter
-	Updates   metrics.Counter
-	Failovers metrics.Counter
+	// DeadlineExceeded counts requests whose end-to-end budget ran out;
+	// IngestShed counts updates refused for ingestion backpressure.
+	Requests         metrics.Counter
+	Updates          metrics.Counter
+	Failovers        metrics.Counter
+	DeadlineExceeded metrics.Counter
+	IngestShed       metrics.Counter
 }
 
 // New connects a frontend to the broker and the serving workers' RPC
@@ -91,6 +106,7 @@ func New(cfg *deploy.Config, bus mq.Bus, servingAddrs []string) (*Frontend, erro
 		rr:       make([]atomic.Uint64, cfg.File.Servers),
 		updates:  updates,
 		dirs:     cfg.EdgeRouting(),
+		lags:     make([]atomic.Int64, cfg.File.Samplers),
 		clk:      clock.Wall(),
 		reg:      obs.NewRegistry(),
 		tracer:   obs.NewTracer(0, 0),
@@ -132,6 +148,103 @@ func (f *Frontend) SetProbeInterval(d time.Duration) {
 	}
 }
 
+// Overload configures the frontend's admission control and backpressure.
+// Zero values leave each bound disabled.
+type Overload struct {
+	// RequestTimeout is the end-to-end deadline budget of every Sample: the
+	// frontend admits, calls, and waits at most this long, and the remaining
+	// budget rides in the RPC frame so serving abandons work the caller gave
+	// up on.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently admitted Samples; requests beyond it
+	// queue (up to MaxQueue) and then shed with a typed overload error.
+	MaxInflight int
+	// MaxQueue bounds Samples waiting for admission; 0 defaults to
+	// 4×MaxInflight.
+	MaxQueue int
+	// MaxIngestLag sheds Ingest calls targeting a sampling partition whose
+	// unconsumed updates backlog exceeds this bound (measured broker-side:
+	// end offset minus committed consumer offset).
+	MaxIngestLag int64
+	// LagProbeEvery paces the backlog probe; 0 defaults to 250ms.
+	LagProbeEvery time.Duration
+}
+
+// SetOverload enables admission control; call once, after UseObs and before
+// serving traffic. With MaxInflight > 0 the frontend runs Sample through a
+// deadline-aware limiter; with MaxIngestLag > 0 a watcher loop tracks the
+// per-partition updates backlog and Ingest sheds updates bound for lagged
+// partitions.
+func (f *Frontend) SetOverload(o Overload) {
+	f.reqTimeout = o.RequestTimeout
+	if o.MaxInflight > 0 {
+		f.limiter = overload.NewLimiter(overload.Config{
+			Stage:       "frontend",
+			MaxInflight: o.MaxInflight,
+			MaxQueue:    o.MaxQueue,
+			Clock:       f.clk,
+			Metrics:     f.reg,
+		})
+	}
+	f.maxIngestLag.Store(o.MaxIngestLag)
+	if o.MaxIngestLag > 0 && f.lagLoop == nil {
+		every := o.LagProbeEvery
+		if every <= 0 {
+			every = 250 * time.Millisecond
+		}
+		f.lagStop = make(chan struct{})
+		f.lagLoop = actor.NewLoop(1, func(int) bool {
+			select {
+			case <-f.lagStop:
+				return false
+			case <-time.After(every):
+			}
+			f.probeLag()
+			return true
+		})
+	}
+}
+
+// probeLag refreshes the cached per-partition ingest backlog. A partition
+// whose consumer has never committed reports no lag: with no progress signal
+// there is nothing to bound, and shedding there would wedge bootstrap.
+func (f *Frontend) probeLag() {
+	for p := range f.lags {
+		committed := f.updates.CommittedOffset(p)
+		if committed < 0 {
+			f.lags[p].Store(0)
+			continue
+		}
+		lag := f.updates.EndOffset(p) - committed
+		if lag < 0 {
+			lag = 0
+		}
+		f.lags[p].Store(lag)
+	}
+}
+
+// ingestLagMax reports the worst cached partition backlog (scrape-time).
+func (f *Frontend) ingestLagMax() int64 {
+	var worst int64
+	for p := range f.lags {
+		if l := f.lags[p].Load(); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// admitIngest sheds an update bound for partition p when that partition's
+// cached backlog exceeds the lag bound.
+func (f *Frontend) admitIngest(p int) error {
+	if bound := f.maxIngestLag.Load(); bound > 0 && f.lags[p].Load() > bound {
+		f.IngestShed.Inc()
+		overload.CountShed()
+		return overload.Shed("ingest", "consumer_lag")
+	}
+	return nil
+}
+
 // probeOnce pings every unhealthy replica and re-admits the ones that
 // answer.
 func (f *Frontend) probeOnce() {
@@ -165,8 +278,14 @@ func (f *Frontend) unhealthyReplicas() int64 {
 // skipped on the first pass but — so a fully-down partition still gets a
 // liveness check instead of an instant refusal — tried on the second.
 // A transport failure marks the replica unhealthy and moves on; a remote
-// handler error is the caller's problem and returns immediately.
-func (f *Frontend) callReplica(seed graph.VertexID, fn func(*serving.Client) error) error {
+// handler error is the caller's problem and returns immediately. Two
+// outcomes are final without touching replica health: the deadline budget
+// running out (the caller gave up — retrying another replica only produces
+// a later answer nobody reads) and an overload shed (the replica is
+// healthy, just full; failing over would stampede the next replica).
+// deadline (zero = none) caps the whole call: fn receives the remaining
+// budget before each attempt.
+func (f *Frontend) callReplica(seed graph.VertexID, deadline time.Time, fn func(*serving.Client, time.Duration) error) error {
 	p := f.servPart.Of(seed)
 	reps := f.servers[p]
 	start := int(f.rr[p].Add(1))
@@ -179,11 +298,22 @@ func (f *Frontend) callReplica(seed graph.VertexID, fn func(*serving.Client) err
 			if tried[idx] || (pass == 0 && !rep.healthy.Load()) {
 				continue
 			}
+			var budget time.Duration
+			if !deadline.IsZero() {
+				if budget = deadline.Sub(f.clk.Now()); budget <= 0 {
+					f.DeadlineExceeded.Inc()
+					return rpc.ErrDeadlineExceeded
+				}
+			}
 			tried[idx] = true
-			err := fn(rep.client)
+			err := fn(rep.client, budget)
 			if err == nil {
 				rep.healthy.Store(true)
 				return nil
+			}
+			if overload.IsDeadline(err) {
+				f.DeadlineExceeded.Inc()
+				return err
 			}
 			var re *rpc.RemoteError
 			if errors.As(err, &re) {
@@ -219,7 +349,11 @@ func (f *Frontend) registerMetrics() {
 	f.reg.CounterFunc("frontend.requests", f.Requests.Value)
 	f.reg.CounterFunc("frontend.updates", f.Updates.Value)
 	f.reg.CounterFunc("frontend.failovers", f.Failovers.Value)
+	f.reg.CounterFunc("frontend.deadline_exceeded", f.DeadlineExceeded.Value)
+	f.reg.CounterFunc("frontend.ingest_shed", f.IngestShed.Value)
 	f.reg.GaugeFunc("frontend.unhealthy_replicas", f.unhealthyReplicas)
+	f.reg.GaugeFunc("frontend.ingest_lag", f.ingestLagMax)
+	overload.RegisterMetrics(f.reg)
 	rpc.RegisterMetrics(f.reg)
 }
 
@@ -229,12 +363,17 @@ func (f *Frontend) Tracer() *obs.Tracer { return f.tracer }
 // Metrics returns the frontend's registry.
 func (f *Frontend) Metrics() *obs.Registry { return f.reg }
 
-// Close stops the health prober and releases the serving connections.
+// Close stops the health prober and the lag watcher and releases the
+// serving connections.
 func (f *Frontend) Close() {
 	f.closeOnce.Do(func() {
 		if f.prober != nil {
 			close(f.probeStop)
 			f.prober.Stop()
+		}
+		if f.lagLoop != nil {
+			close(f.lagStop)
+			f.lagLoop.Stop()
 		}
 		for _, reps := range f.servers {
 			for _, rep := range reps {
@@ -272,8 +411,7 @@ func (f *Frontend) route(u graph.Update) error {
 	switch u.Kind {
 	case graph.UpdateVertex:
 		f.Updates.Inc()
-		_, err := f.updates.Append(f.part.Of(u.Vertex.ID), uint64(u.Vertex.ID), payload)
-		return err
+		return f.append(f.part.Of(u.Vertex.ID), uint64(u.Vertex.ID), payload)
 	case graph.UpdateEdge:
 		d, relevant := f.dirs[u.Edge.Type]
 		if !relevant {
@@ -283,13 +421,13 @@ func (f *Frontend) route(u graph.Update) error {
 		sent := -1
 		if d[0] {
 			sent = f.part.Of(u.Edge.Src)
-			if _, err := f.updates.Append(sent, uint64(u.Edge.Src), payload); err != nil {
+			if err := f.append(sent, uint64(u.Edge.Src), payload); err != nil {
 				return err
 			}
 		}
 		if d[1] {
 			if p := f.part.Of(u.Edge.Dst); p != sent {
-				if _, err := f.updates.Append(p, uint64(u.Edge.Src), payload); err != nil {
+				if err := f.append(p, uint64(u.Edge.Src), payload); err != nil {
 					return err
 				}
 			}
@@ -300,14 +438,58 @@ func (f *Frontend) route(u graph.Update) error {
 	}
 }
 
+// append publishes one routed update, shedding first on the frontend's
+// cached lag signal and translating the broker's own backpressure refusal
+// into the same typed overload error.
+func (f *Frontend) append(p int, key uint64, payload []byte) error {
+	if err := f.admitIngest(p); err != nil {
+		return err
+	}
+	if _, err := f.updates.Append(p, key, payload); err != nil {
+		if mq.IsBackpressure(err) {
+			f.IngestShed.Inc()
+			overload.CountShed()
+			return overload.Shed("ingest", "broker_lag")
+		}
+		return err
+	}
+	return nil
+}
+
+// admitSample runs the request through the frontend limiter (when enabled)
+// and returns the request's absolute deadline (zero when no RequestTimeout
+// is set) plus the release function (never nil).
+func (f *Frontend) admitSample() (time.Time, func(), error) {
+	var deadline time.Time
+	if f.reqTimeout > 0 {
+		deadline = f.clk.Now().Add(f.reqTimeout)
+	}
+	if f.limiter == nil {
+		return deadline, func() {}, nil
+	}
+	release, err := f.limiter.Acquire(deadline)
+	if err != nil {
+		if overload.IsDeadline(err) {
+			f.DeadlineExceeded.Inc()
+		}
+		return deadline, nil, err
+	}
+	return deadline, release, nil
+}
+
 // Sample routes a sampling query to a healthy replica of the serving
 // partition owning the seed (untraced).
 func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
 	f.Requests.Inc()
+	deadline, release, err := f.admitSample()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	var res *serving.Result
-	err := f.callReplica(seed, func(c *serving.Client) error {
+	err = f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
 		var err error
-		res, err = c.Sample(qid, seed)
+		res, err = c.SampleBudget(qid, seed, 0, budget)
 		return err
 	})
 	return res, err
@@ -320,11 +502,16 @@ func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, e
 func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Result, uint64, error) {
 	f.Requests.Inc()
 	trace := f.tracer.NewID()
+	deadline, release, err := f.admitSample()
+	if err != nil {
+		return nil, trace, err
+	}
+	defer release()
 	start := f.clk.Now()
 	var res *serving.Result
-	err := f.callReplica(seed, func(c *serving.Client) error {
+	err = f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
 		var err error
-		res, err = c.SampleTraced(qid, seed, trace)
+		res, err = c.SampleBudget(qid, seed, trace, budget)
 		return err
 	})
 	total := f.clk.Now().Sub(start).Nanoseconds()
@@ -369,6 +556,10 @@ type resultJSON struct {
 	Misses   int                  `json:"misses"`
 	// Trace is the request's trace ID in hex; look it up under /traces.
 	Trace string `json:"trace,omitempty"`
+	// Degraded marks an answer served from the cache's degraded path under
+	// overload; StalenessNS is the cache staleness at assembly.
+	Degraded    bool  `json:"degraded,omitempty"`
+	StalenessNS int64 `json:"stalenessNs,omitempty"`
 }
 
 type edgeOutJSON struct {
@@ -376,6 +567,20 @@ type edgeOutJSON struct {
 	Parent uint64 `json:"parent"`
 	Child  uint64 `json:"child"`
 	Ts     int64  `json:"ts"`
+}
+
+// httpStatus maps routing errors onto gateway statuses: 503 for a shed
+// (the deployment is healthy, just full — retry with backoff), 504 for an
+// exhausted deadline budget, 500 otherwise.
+func httpStatus(err error) int {
+	switch {
+	case overload.IsDeadline(err):
+		return http.StatusGatewayTimeout
+	case overload.IsOverload(err):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // Handler returns the HTTP mux: POST /ingest/edge, POST /ingest/vertex,
@@ -398,7 +603,7 @@ func (f *Frontend) Handler() http.Handler {
 			Type: et, Ts: graph.Timestamp(e.Ts), Weight: e.Weight,
 		}))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
@@ -418,7 +623,7 @@ func (f *Frontend) Handler() http.Handler {
 			ID: graph.VertexID(v.ID), Type: vt, Feature: v.Feature,
 		}))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
@@ -436,13 +641,15 @@ func (f *Frontend) Handler() http.Handler {
 		}
 		res, trace, err := f.SampleTraced(query.ID(qid), graph.VertexID(seed))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
 		out := resultJSON{
-			Features: make(map[string][]float32),
-			Misses:   res.SampleMisses + res.FeatureMisses,
-			Trace:    strconv.FormatUint(trace, 16),
+			Features:    make(map[string][]float32),
+			Misses:      res.SampleMisses + res.FeatureMisses,
+			Trace:       strconv.FormatUint(trace, 16),
+			Degraded:    res.Degraded,
+			StalenessNS: res.StalenessNS,
 		}
 		for _, layer := range res.Layers {
 			l := make([]uint64, len(layer))

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// BoundedWait flags RPC calls issued with a constant zero (or negative)
+// timeout: Call/CallTraced on a *Client wait for the response frame, and a
+// zero timeout means "no deadline" — the caller parks forever if the peer
+// stalls, which is exactly the unbounded wait the overload design
+// (end-to-end deadline budgets, internal/overload) exists to eliminate.
+// Every production call site must pass a positive budget; an intentional
+// infinite wait needs a `//lint:allow boundedwait <why>` justification.
+// Test files are exempt (the loader skips _test.go).
+var BoundedWait = &Analyzer{
+	Name: "boundedwait",
+	Doc:  "rpc call with a zero (unbounded) timeout",
+	Run:  runBoundedWait,
+}
+
+// rpcCallMethods are the client methods whose trailing time.Duration
+// argument is the response-wait budget.
+var rpcCallMethods = map[string]bool{"Call": true, "CallTraced": true}
+
+func runBoundedWait(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !rpcCallMethods[sel.Sel.Name] {
+				return true
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok || !isClientType(tv.Type) {
+				return true
+			}
+			last := call.Args[len(call.Args)-1]
+			ltv, ok := info.Types[last]
+			if !ok || !isDuration(ltv.Type) || ltv.Value == nil {
+				return true
+			}
+			if v, exact := constant.Int64Val(ltv.Value); exact && v <= 0 {
+				pass.Reportf(last.Pos(), "%s with timeout %d waits unboundedly; pass a positive budget or justify with //lint:allow boundedwait",
+					sel.Sel.Name, v)
+			}
+			return true
+		})
+	}
+}
+
+// isClientType reports whether t (possibly behind a pointer) is a named
+// type called Client — the rpc transport client or a wrapper sharing its
+// call signature.
+func isClientType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Client"
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

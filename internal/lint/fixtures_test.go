@@ -67,6 +67,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{name: "droppederror"},
 		{name: "walltime", opts: &Options{DeterministicPkgs: []string{"fixture/walltime"}}},
 		{name: "goroutinestop"},
+		{name: "boundedwait"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -121,6 +121,7 @@ func Analyzers() []*Analyzer {
 		DroppedError,
 		Walltime,
 		GoroutineStop,
+		BoundedWait,
 	}
 }
 

@@ -1,0 +1,45 @@
+package boundedwait
+
+import "time"
+
+// Client mirrors the rpc transport client's call surface: the trailing
+// time.Duration is the response-wait budget, and zero means wait forever.
+type Client struct{}
+
+func (c *Client) Call(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	_ = method
+	_ = payload
+	_ = timeout
+	return nil, nil
+}
+
+func (c *Client) CallTraced(method string, trace uint64, payload []byte, timeout time.Duration) ([]byte, error) {
+	_ = method
+	_ = trace
+	_ = payload
+	_ = timeout
+	return nil, nil
+}
+
+// gauge is NOT a Client: its Call must not be flagged regardless of args.
+type gauge struct{}
+
+func (g *gauge) Call(method string, payload []byte, timeout time.Duration) {
+	_ = method
+	_ = payload
+	_ = timeout
+}
+
+const noWait time.Duration = 0
+
+func use(c *Client, g *gauge, budget time.Duration) {
+	c.Call("m", nil, 0)                         // want boundedwait
+	c.CallTraced("m", 1, nil, time.Duration(0)) // want boundedwait
+	c.Call("m", nil, noWait)                    // want boundedwait
+	c.Call("m", nil, -time.Second)              // want boundedwait
+	c.Call("m", nil, time.Second)               // bounded: fine
+	c.Call("m", nil, budget)                    // not provably zero: fine
+	g.Call("m", nil, 0)                         // not a Client: fine
+	//lint:allow boundedwait fixture: this probe intentionally waits forever
+	c.Call("m", nil, 0)
+}

@@ -14,17 +14,37 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"strconv"
+	"strings"
 
 	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/metrics"
 	"helios/internal/obs"
+	"helios/internal/rpc"
 )
 
 // ErrClosed reports use of a closed broker or partition.
 var ErrClosed = errors.New("mq: closed")
+
+// ErrBackpressure reports an append rejected because consumer lag on the
+// target partition exceeds the topic's configured bound (SetLagBound):
+// the producers are outrunning the consumers, and growing the log further
+// would only grow staleness. Producers should slow down and retry; the
+// condition clears as consumers catch up and commit.
+var ErrBackpressure = errors.New("mq: backpressure: consumer lag bound exceeded")
+
+// IsBackpressure reports whether err is a lag-bound rejection, including
+// one that crossed an RPC hop as a RemoteError.
+func IsBackpressure(err error) bool {
+	if errors.Is(err, ErrBackpressure) {
+		return true
+	}
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "mq: backpressure")
+}
 
 // Record is one log entry.
 type Record struct {
@@ -54,10 +74,11 @@ type Options struct {
 
 // Broker owns a set of topics.
 type Broker struct {
-	mu     sync.RWMutex
-	opts   Options
-	topics map[string]*Topic
-	closed bool
+	mu        sync.RWMutex
+	opts      Options
+	topics    map[string]*Topic
+	lagBounds map[string]int64 // topic name -> lag bound for topics created later
+	closed    bool
 
 	// Appended counts records accepted across all topics.
 	Appended metrics.Counter
@@ -74,7 +95,7 @@ func NewBroker(opts Options) *Broker {
 	if opts.SyncEvery == 0 {
 		opts.SyncEvery = 4096
 	}
-	return &Broker{opts: opts, topics: make(map[string]*Topic)}
+	return &Broker{opts: opts, topics: make(map[string]*Topic), lagBounds: make(map[string]int64)}
 }
 
 // CreateTopic creates a topic with the given partition count, or returns
@@ -95,6 +116,7 @@ func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
 		return t, nil
 	}
 	t := &Topic{name: name, broker: b}
+	t.lagBound.Store(b.lagBounds[name])
 	for i := 0; i < partitions; i++ {
 		p := newPartition(b, name, i)
 		if b.opts.Dir != "" {
@@ -134,6 +156,19 @@ func registerTopicGauges(reg *obs.Registry, t *Topic) {
 		part := i
 		reg.GaugeFunc("mq.end_offset",
 			func() int64 { return t.NextOffset(part) },
+			"topic", t.name, "partition", strconv.Itoa(part))
+		reg.GaugeFunc("mq.committed_offset",
+			func() int64 { return t.CommittedOffset(part) },
+			"topic", t.name, "partition", strconv.Itoa(part))
+		// Broker-side view of consumer lag: 0 until the first commit.
+		reg.GaugeFunc("mq.broker_lag",
+			func() int64 {
+				c := t.CommittedOffset(part)
+				if c < 0 {
+					return 0
+				}
+				return t.EndOffset(part) - c
+			},
 			"topic", t.name, "partition", strconv.Itoa(part))
 	}
 }
@@ -177,11 +212,33 @@ func (b *Broker) Close() error {
 	return firstErr
 }
 
+// SetLagBound configures ingestion backpressure for a topic: once any
+// partition's broker-side consumer lag (EndOffset - committed offset)
+// reaches bound, appends to that partition fail with ErrBackpressure until
+// consumers catch up and commit. A bound of 0 disables the check. The bound
+// applies immediately to an existing topic and is remembered for a topic
+// created later (a restarted broker re-creates topics on demand).
+// Partitions that have never seen a commit are exempt — with no consumer
+// there is no lag signal, only depth.
+func (b *Broker) SetLagBound(topic string, bound int64) {
+	if bound < 0 {
+		bound = 0
+	}
+	b.mu.Lock()
+	b.lagBounds[topic] = bound
+	t := b.topics[topic]
+	b.mu.Unlock()
+	if t != nil {
+		t.lagBound.Store(bound)
+	}
+}
+
 // Topic is a named, fixed-partition-count log.
 type Topic struct {
-	name   string
-	broker *Broker
-	parts  []*partition
+	name     string
+	broker   *Broker
+	parts    []*partition
+	lagBound atomic.Int64 // max broker-side consumer lag before appends shed
 }
 
 // Name returns the topic name.
@@ -197,6 +254,15 @@ func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error
 	}
 	if err := faultpoint.Inject("mq.append"); err != nil {
 		return 0, err
+	}
+	if bound := t.lagBound.Load(); bound > 0 {
+		p := t.parts[partitionIdx]
+		p.mu.Lock()
+		lagged := p.committed >= 0 && p.next-p.committed >= bound
+		p.mu.Unlock()
+		if lagged {
+			return 0, ErrBackpressure
+		}
 	}
 	off, err := t.parts[partitionIdx].append(key, value)
 	if err == nil {
@@ -247,4 +313,40 @@ func (t *Topic) NextOffset(partitionIdx int) int64 {
 // [0, n) both are n; the last *delivered* record has offset EndOffset-1.
 func (t *Topic) EndOffset(partitionIdx int) int64 {
 	return t.NextOffset(partitionIdx)
+}
+
+// Commit records a consumer's progress on a partition: offset is one past
+// the last processed record (Kafka's committed-offset convention). Commits
+// only move forward; a stale or duplicate commit is ignored. This is what
+// makes broker-side lag — and therefore ingestion backpressure — visible to
+// producers that never meet the consumers.
+func (t *Topic) Commit(partitionIdx int, offset int64) error {
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if offset > p.next {
+		offset = p.next
+	}
+	if offset > p.committed {
+		p.committed = offset
+	}
+	return nil
+}
+
+// CommittedOffset reports the highest committed offset for a partition, or
+// -1 while no consumer has ever committed (lag unknown).
+func (t *Topic) CommittedOffset(partitionIdx int) int64 {
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return -1
+	}
+	p := t.parts[partitionIdx]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed
 }

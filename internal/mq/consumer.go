@@ -37,6 +37,12 @@ func (c *Consumer) Offset() int64 { return c.offset }
 // EndOffset - Committed with no off-by-one adjustment.
 func (c *Consumer) Committed() int64 { return c.offset }
 
+// Commit pushes the cursor position to the broker's per-partition commit
+// record (see Topic.Commit).
+func (c *Consumer) Commit() error {
+	return c.topic.Commit(c.partition, c.offset)
+}
+
 // SeekTo moves the cursor.
 func (c *Consumer) SeekTo(offset int64) { c.offset = offset }
 

@@ -32,6 +32,11 @@ type TopicHandle interface {
 	// EndOffset reports the log-end offset (== NextOffset, Kafka's LEO);
 	// consumer lag is EndOffset - Cursor.Committed.
 	EndOffset(partition int) int64
+	// CommittedOffset reports the highest offset any consumer has pushed
+	// back to the broker via Cursor.Commit for the partition, or -1 while
+	// none has. This is the broker-side lag signal producers use for
+	// backpressure without ever meeting the consumers.
+	CommittedOffset(partition int) int64
 }
 
 // Cursor is an offset-tracked consumer of one partition.
@@ -41,6 +46,11 @@ type Cursor interface {
 	// Committed reports the offset of the next record to read (one past
 	// the last delivered record) — Kafka's committed-offset convention.
 	Committed() int64
+	// Commit pushes the cursor's position back to the broker so
+	// TopicHandle.CommittedOffset (and broker-side lag) reflect this
+	// consumer's progress. Best-effort: consumers commit periodically, so
+	// a failed commit only overstates lag until the next one lands.
+	Commit() error
 	SeekTo(offset int64)
 	Lag() int64
 }

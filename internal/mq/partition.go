@@ -19,13 +19,18 @@ type partition struct {
 	records []Record // records[i] has offset head+i
 	head    int64    // offset of records[0]
 	next    int64    // offset of the next append
-	closed  bool
+	// committed is the highest offset a consumer has reported back via
+	// Commit (Kafka convention: one past the last processed record), or -1
+	// while no consumer has ever committed. Broker-side lag — the basis for
+	// ingestion backpressure — is next - committed.
+	committed int64
+	closed    bool
 
 	seg *segment // nil when memory-only
 }
 
 func newPartition(b *Broker, topic string, idx int) *partition {
-	p := &partition{topic: topic, idx: idx, broker: b}
+	p := &partition{topic: topic, idx: idx, broker: b, committed: -1}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }

@@ -21,7 +21,15 @@ const (
 	methodAppend    = "mq.append"
 	methodFetch     = "mq.fetch"
 	methodMeta      = "mq.meta"
+	methodCommit    = "mq.commit"
 )
+
+// maxServerFetchWait caps how long one fetch RPC may park server-side.
+// rpc.Server.Close waits for in-flight handlers, so an uncapped long-poll
+// would hold broker shutdown hostage for the client's full wait; capping it
+// bounds shutdown latency while RemoteConsumer.Poll re-issues fetches until
+// the client's own wait is spent, preserving long-poll semantics.
+const maxServerFetchWait = time.Second
 
 // ServeBroker registers the broker's RPC surface on srv.
 func ServeBroker(b *Broker, srv *rpc.Server) {
@@ -77,7 +85,11 @@ func ServeBroker(b *Broker, srv *rpc.Server) {
 		if part < 0 || part >= len(t.parts) {
 			return nil, fmt.Errorf("mq: partition %d out of range", part)
 		}
-		recs, next, err := t.parts[part].fetch(offset, max, time.Duration(waitMS)*time.Millisecond)
+		wait := time.Duration(waitMS) * time.Millisecond
+		if wait > maxServerFetchWait {
+			wait = maxServerFetchWait
+		}
+		recs, next, err := t.parts[part].fetch(offset, max, wait)
 		if err != nil {
 			return nil, err
 		}
@@ -103,10 +115,25 @@ func ServeBroker(b *Broker, srv *rpc.Server) {
 		if !ok {
 			return nil, fmt.Errorf("mq: unknown topic %q", name)
 		}
-		w := codec.NewWriter(20)
+		w := codec.NewWriter(30)
 		w.Varint(t.NextOffset(part))
 		w.Varint(t.Depth(part))
+		w.Varint(t.CommittedOffset(part))
 		return w.Bytes(), nil
+	})
+	srv.Handle(methodCommit, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		part := int(r.Uvarint())
+		offset := r.Varint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t, ok := b.Topic(name)
+		if !ok {
+			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		return nil, t.Commit(part, offset)
 	})
 }
 
@@ -234,7 +261,7 @@ func (t *RemoteTopic) AppendByKey(key uint64, value []byte) (int64, error) {
 
 // NextOffset implements TopicHandle.
 func (t *RemoteTopic) NextOffset(partition int) int64 {
-	next, _ := t.meta(partition)
+	next, _, _ := t.meta(partition)
 	return next
 }
 
@@ -245,20 +272,28 @@ func (t *RemoteTopic) EndOffset(partition int) int64 {
 
 // Depth implements TopicHandle.
 func (t *RemoteTopic) Depth(partition int) int64 {
-	_, depth := t.meta(partition)
+	_, depth, _ := t.meta(partition)
 	return depth
 }
 
-func (t *RemoteTopic) meta(partition int) (next, depth int64) {
+// CommittedOffset implements TopicHandle (-1 while no consumer committed,
+// and also -1 when the broker is unreachable — an unknown lag must not read
+// as zero lag).
+func (t *RemoteTopic) CommittedOffset(partition int) int64 {
+	_, _, committed := t.meta(partition)
+	return committed
+}
+
+func (t *RemoteTopic) meta(partition int) (next, depth, committed int64) {
 	w := codec.NewWriter(32)
 	w.String(t.name)
 	w.Uvarint(uint64(partition))
 	resp, err := t.broker.call(t.name, methodMeta, w.Bytes(), t.broker.timeout)
 	if err != nil {
-		return 0, 0
+		return 0, 0, -1
 	}
 	r := codec.NewReader(resp)
-	return r.Varint(), r.Varint()
+	return r.Varint(), r.Varint(), r.Varint()
 }
 
 // OpenConsumer implements TopicHandle.
@@ -273,8 +308,33 @@ type RemoteConsumer struct {
 	offset    int64
 }
 
-// Poll implements Cursor.
+// Poll implements Cursor. Waits longer than the broker's server-side cap
+// are satisfied by re-issuing capped fetches until data arrives or the wait
+// is spent, so a long poll never parks a broker handler past the cap (which
+// would stall broker shutdown).
 func (c *RemoteConsumer) Poll(max int, wait time.Duration) ([]Record, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		chunk := wait
+		if chunk > maxServerFetchWait {
+			if chunk = time.Until(deadline); chunk > maxServerFetchWait {
+				chunk = maxServerFetchWait
+			}
+		}
+		recs, err := c.pollOnce(max, chunk)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if wait <= maxServerFetchWait || !time.Now().Before(deadline) {
+			return nil, nil
+		}
+	}
+}
+
+func (c *RemoteConsumer) pollOnce(max int, wait time.Duration) ([]Record, error) {
+	if wait < 0 {
+		wait = 0
+	}
 	w := codec.NewWriter(40)
 	w.String(c.topic.name)
 	w.Uvarint(uint64(c.partition))
@@ -312,6 +372,16 @@ func (c *RemoteConsumer) Offset() int64 { return c.offset }
 
 // Committed implements Cursor (see Consumer.Committed).
 func (c *RemoteConsumer) Committed() int64 { return c.offset }
+
+// Commit implements Cursor: pushes the cursor position to the broker.
+func (c *RemoteConsumer) Commit() error {
+	w := codec.NewWriter(40)
+	w.String(c.topic.name)
+	w.Uvarint(uint64(c.partition))
+	w.Varint(c.offset)
+	_, err := c.topic.broker.call(c.topic.name, methodCommit, w.Bytes(), c.topic.broker.timeout)
+	return err
+}
 
 // SeekTo implements Cursor.
 func (c *RemoteConsumer) SeekTo(offset int64) { c.offset = offset }

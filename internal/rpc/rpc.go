@@ -38,8 +38,16 @@ import (
 // ErrClosed reports use of a closed client or server.
 var ErrClosed = errors.New("rpc: closed")
 
-// ErrTimeout reports an expired call deadline.
-var ErrTimeout = errors.New("rpc: call timeout")
+// ErrDeadlineExceeded reports that a call's deadline budget ran out — either
+// locally (the caller gave up waiting) or remotely (the server refused or
+// abandoned work on a request whose budget had already expired in transit).
+// Deadline errors are never retried: the time is gone no matter whose clock
+// noticed first.
+var ErrDeadlineExceeded = errors.New("rpc: deadline exceeded")
+
+// ErrTimeout reports an expired call deadline on a single attempt. It wraps
+// ErrDeadlineExceeded so errors.Is(err, ErrDeadlineExceeded) classifies both.
+var ErrTimeout = fmt.Errorf("rpc: call timeout: %w", ErrDeadlineExceeded)
 
 // RemoteError wraps an error string returned by a handler.
 type RemoteError struct{ Msg string }
@@ -50,6 +58,11 @@ const (
 	frameRequest  = 0
 	frameResponse = 1
 	frameError    = 2
+	// frameExpired is a response meaning the server observed the request's
+	// deadline budget already spent and did no work (or the handler itself
+	// returned ErrDeadlineExceeded). It maps back to ErrDeadlineExceeded on
+	// the client so the type survives the hop without string matching.
+	frameExpired = 3
 
 	maxFrame = 64 << 20 // sanity bound
 )
@@ -89,10 +102,38 @@ type Handler func(req []byte) ([]byte, error)
 // the process hop.
 type TracedHandler func(trace uint64, req []byte) ([]byte, error)
 
+// Ctx carries the per-request frame metadata a handler may care about: the
+// caller's trace ID (0 = untraced) and the absolute deadline derived from
+// the frame's budget field (zero time = no deadline).
+type Ctx struct {
+	Trace    uint64
+	Deadline time.Time
+}
+
+// Expired reports whether the request's deadline has passed at now. A zero
+// deadline never expires.
+func (c Ctx) Expired(now time.Time) bool {
+	return !c.Deadline.IsZero() && !now.Before(c.Deadline)
+}
+
+// Remaining returns the budget left at now, or 0 if there is no deadline.
+// An expired deadline returns a negative duration.
+func (c Ctx) Remaining(now time.Time) time.Duration {
+	if c.Deadline.IsZero() {
+		return 0
+	}
+	return c.Deadline.Sub(now)
+}
+
+// CtxHandler is the full-fidelity handler form: it receives the trace ID
+// and the propagated deadline. Handlers that fan out further RPCs pass
+// ctx.Remaining as the downstream timeout so the budget shrinks hop by hop.
+type CtxHandler func(ctx Ctx, req []byte) ([]byte, error)
+
 // Server serves registered handlers over TCP.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]TracedHandler
+	handlers map[string]CtxHandler
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -104,23 +145,31 @@ type Server struct {
 
 	// Requests counts request frames dispatched; Errors counts handler
 	// failures (including unknown methods and panics) and failed response
-	// writes.
+	// writes. Expired counts requests answered with a deadline-exceeded
+	// frame instead of being worked on (dead-on-arrival budget, or a
+	// handler that bailed out with ErrDeadlineExceeded).
 	Requests metrics.Counter
 	Errors   metrics.Counter
+	Expired  metrics.Counter
 }
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]TracedHandler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]CtxHandler), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a handler for method, replacing any previous one.
 func (s *Server) Handle(method string, h Handler) {
-	s.HandleTraced(method, func(_ uint64, req []byte) ([]byte, error) { return h(req) })
+	s.HandleCtx(method, func(_ Ctx, req []byte) ([]byte, error) { return h(req) })
 }
 
 // HandleTraced registers a trace-aware handler for method.
 func (s *Server) HandleTraced(method string, h TracedHandler) {
+	s.HandleCtx(method, func(ctx Ctx, req []byte) ([]byte, error) { return h(ctx.Trace, req) })
+}
+
+// HandleCtx registers a deadline- and trace-aware handler for method.
+func (s *Server) HandleCtx(method string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -176,12 +225,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		typ, id, trace, method, payload, err := readFrame(conn)
+		typ, id, trace, budget, method, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
 		if typ != frameRequest {
 			continue // ignore stray frames
+		}
+		// The frame carries a relative budget, not an absolute instant, so
+		// the two processes need no clock agreement; the deadline is pinned
+		// to this host's clock at receipt.
+		var deadline time.Time
+		if budget > 0 {
+			deadline = time.Now().Add(time.Duration(budget))
 		}
 		s.mu.RLock()
 		h := s.handlers[method]
@@ -196,25 +252,42 @@ func (s *Server) serveConn(conn net.Conn) {
 			if delay > 0 {
 				time.Sleep(delay)
 			}
+			ctx := Ctx{Trace: trace, Deadline: deadline}
 			var resp []byte
 			var herr error
-			if h == nil {
+			switch {
+			case ctx.Expired(time.Now()):
+				// Dead on arrival: the caller has already given up, so any
+				// work done here would be thrown away. Fail fast instead of
+				// occupying a worker.
+				herr = ErrDeadlineExceeded
+			case h == nil:
 				herr = fmt.Errorf("unknown method %q", method)
-			} else {
+			default:
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
 							herr = fmt.Errorf("handler panic: %v", r)
 						}
 					}()
-					resp, herr = h(trace, payload)
+					resp, herr = h(ctx, payload)
 				}()
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
+				if errors.Is(herr, ErrDeadlineExceeded) {
+					// Keep the error typed across the hop: an expired frame
+					// maps back to ErrDeadlineExceeded client-side.
+					s.Expired.Inc()
+					if werr := writeFrame(conn, frameExpired, id, trace, 0, "", nil); werr != nil {
+						s.Errors.Inc()
+						conn.Close()
+					}
+					return
+				}
 				s.Errors.Inc()
-				if werr := writeFrame(conn, frameError, id, trace, "", []byte(herr.Error())); werr != nil {
+				if werr := writeFrame(conn, frameError, id, trace, 0, "", []byte(herr.Error())); werr != nil {
 					s.Errors.Inc()
 					conn.Close()
 				}
@@ -227,7 +300,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			werr := faultpoint.Inject("rpc.server.write")
 			if werr == nil {
-				werr = writeFrame(conn, frameResponse, id, trace, "", resp)
+				werr = writeFrame(conn, frameResponse, id, trace, 0, "", resp)
 			}
 			if werr != nil {
 				// A failed response write would leave the peer waiting out
@@ -272,15 +345,21 @@ func (s *Server) Close() error {
 
 // frame layout:
 //
-//	uint32 length | byte type | uint64 id | uint64 trace | uint16 methodLen | method | payload
+//	uint32 length | byte type | uint64 id | uint64 trace | int64 budget | uint16 methodLen | method | payload
 //
 // trace is the request's trace ID (0 = untraced); responses echo the
-// request's trace so either side can correlate without a lookup.
-func writeFrame(w io.Writer, typ byte, id, trace uint64, method string, payload []byte) error {
+// request's trace so either side can correlate without a lookup. budget is
+// the caller's remaining deadline budget in nanoseconds (0 = no deadline),
+// carried only on requests; the receiver pins it to its own clock, and any
+// further hop is issued with the shrunken remainder.
+func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method string, payload []byte) error {
 	if len(method) > 0xffff {
 		return errors.New("rpc: method name too long")
 	}
-	total := 1 + 8 + 8 + 2 + len(method) + len(payload)
+	if budget < 0 {
+		budget = 0
+	}
+	total := 1 + 8 + 8 + 8 + 2 + len(method) + len(payload)
 	if total > maxFrame {
 		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", total)
 	}
@@ -289,20 +368,21 @@ func writeFrame(w io.Writer, typ byte, id, trace uint64, method string, payload 
 	buf[4] = typ
 	binary.BigEndian.PutUint64(buf[5:], id)
 	binary.BigEndian.PutUint64(buf[13:], trace)
-	binary.BigEndian.PutUint16(buf[21:], uint16(len(method)))
-	copy(buf[23:], method)
-	copy(buf[23+len(method):], payload)
+	binary.BigEndian.PutUint64(buf[21:], uint64(budget))
+	binary.BigEndian.PutUint16(buf[29:], uint16(len(method)))
+	copy(buf[31:], method)
+	copy(buf[31+len(method):], payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(r io.Reader) (typ byte, id, trace uint64, method string, payload []byte, err error) {
+func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method string, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return
 	}
 	total := binary.BigEndian.Uint32(hdr[:])
-	if total < 19 || total > maxFrame {
+	if total < 27 || total > maxFrame {
 		err = fmt.Errorf("rpc: bad frame length %d", total)
 		return
 	}
@@ -313,13 +393,17 @@ func readFrame(r io.Reader) (typ byte, id, trace uint64, method string, payload 
 	typ = buf[0]
 	id = binary.BigEndian.Uint64(buf[1:])
 	trace = binary.BigEndian.Uint64(buf[9:])
-	mlen := int(binary.BigEndian.Uint16(buf[17:]))
-	if 19+mlen > int(total) {
+	budget = int64(binary.BigEndian.Uint64(buf[17:]))
+	if budget < 0 {
+		budget = 0
+	}
+	mlen := int(binary.BigEndian.Uint16(buf[25:]))
+	if 27+mlen > int(total) {
 		err = errors.New("rpc: bad method length")
 		return
 	}
-	method = string(buf[19 : 19+mlen])
-	payload = buf[19+mlen:]
+	method = string(buf[27 : 27+mlen])
+	payload = buf[27+mlen:]
 	return
 }
 
@@ -570,7 +654,7 @@ func (c *Client) backoffLocked(failures int) time.Duration {
 
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
-		typ, id, _, _, payload, err := readFrame(conn)
+		typ, id, _, _, _, payload, err := readFrame(conn)
 		if err != nil {
 			c.dropConn(conn, gen, err)
 			return
@@ -579,6 +663,8 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 		switch typ {
 		case frameError:
 			res = result{err: &RemoteError{Msg: string(payload)}}
+		case frameExpired:
+			res = result{err: ErrDeadlineExceeded}
 		default:
 			res = result{payload: payload}
 		}
@@ -639,7 +725,9 @@ func (c *Client) Call(method string, req []byte, timeout time.Duration) ([]byte,
 // CallTraced is Call with a trace ID carried in the frame header, so the
 // remote handler (HandleTraced) can tag its spans with the caller's trace.
 // In reconnect mode, transport failures are retried up to
-// Options.RetryBudget times; each attempt gets the full timeout.
+// Options.RetryBudget times; timeout is a total budget across attempts —
+// each retry gets only what remains, and a call whose budget ran out during
+// backoff fails with ErrDeadlineExceeded instead of being re-issued.
 func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout time.Duration) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -648,9 +736,23 @@ func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout tim
 	if c.Delay > 0 {
 		time.Sleep(c.Delay)
 	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		payload, err := c.callOnce(method, trace, req, timeout)
+		remaining := timeout
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				if lastErr == nil {
+					lastErr = ErrDeadlineExceeded
+				}
+				break
+			}
+		}
+		payload, err := c.callOnce(method, trace, req, remaining)
 		if err == nil {
 			return payload, nil
 		}
@@ -667,17 +769,20 @@ func (c *Client) CallTraced(method string, trace uint64, req []byte, timeout tim
 
 // retryable reports whether err is a transport-level failure worth
 // re-issuing the call for. Handler errors already executed remotely,
-// timeouts may still be executing, and ErrClosed is final — none retry.
+// expired deadlines are gone no matter what, and ErrClosed is final — none
+// retry.
 func retryable(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false
 	}
-	return !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrClosed)
+	return !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrClosed)
 }
 
 // callOnce runs a single request/response exchange on the current (or
-// freshly dialed) connection.
+// freshly dialed) connection. timeout doubles as the deadline budget
+// carried in the request frame, so the server can fail fast once the
+// caller has given up.
 func (c *Client) callOnce(method string, trace uint64, req []byte, timeout time.Duration) ([]byte, error) {
 	conn, gen, err := c.getConn()
 	if err != nil {
@@ -692,7 +797,7 @@ func (c *Client) callOnce(method string, trace uint64, req []byte, timeout time.
 	c.writeMu.Lock()
 	err = faultpoint.Inject("rpc.client.write")
 	if err == nil {
-		err = writeFrame(conn, frameRequest, id, trace, method, req)
+		err = writeFrame(conn, frameRequest, id, trace, int64(timeout), method, req)
 	}
 	c.writeMu.Unlock()
 	if err != nil {

@@ -287,11 +287,11 @@ func TestWriteFrameLimits(t *testing.T) {
 	var sink bytes.Buffer
 	// Method name too long.
 	long := make([]byte, 0x10000)
-	if err := writeFrame(&sink, frameRequest, 1, 0, string(long), nil); err == nil {
+	if err := writeFrame(&sink, frameRequest, 1, 0, 0, string(long), nil); err == nil {
 		t.Fatal("oversized method accepted")
 	}
 	// Payload beyond maxFrame.
-	if err := writeFrame(&sink, frameRequest, 1, 0, "m", make([]byte, maxFrame)); err == nil {
+	if err := writeFrame(&sink, frameRequest, 1, 0, 0, "m", make([]byte, maxFrame)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }
@@ -303,18 +303,18 @@ func TestReadFrameRejectsBadLengths(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr, 5)
 	buf.Write(hdr)
 	buf.Write(make([]byte, 5))
-	if _, _, _, _, _, err := readFrame(&buf); err == nil {
+	if _, _, _, _, _, _, err := readFrame(&buf); err == nil {
 		t.Fatal("short frame accepted")
 	}
 	// Method length overrunning the frame.
 	buf.Reset()
-	body := make([]byte, 19)
+	body := make([]byte, 27)
 	binary.BigEndian.PutUint32(hdr, uint32(len(body)))
 	body[0] = frameRequest
-	binary.BigEndian.PutUint16(body[17:], 999)
+	binary.BigEndian.PutUint16(body[25:], 999)
 	buf.Write(hdr)
 	buf.Write(body)
-	if _, _, _, _, _, err := readFrame(&buf); err == nil {
+	if _, _, _, _, _, _, err := readFrame(&buf); err == nil {
 		t.Fatal("bad method length accepted")
 	}
 }

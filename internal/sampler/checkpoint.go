@@ -1,11 +1,14 @@
 package sampler
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"helios/internal/codec"
+	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/query"
 	"helios/internal/sampling"
@@ -43,14 +46,38 @@ func (w *Worker) Checkpoint(out io.Writer) error {
 	return err
 }
 
-// CheckpointFile writes the checkpoint to path atomically.
+// CheckpointFile writes the checkpoint to path crash-safely: the image
+// goes to a temp file that is synced to stable storage before being
+// renamed over path, and the directory is synced so the rename itself
+// survives power loss. A crash at any step leaves either the previous
+// checkpoint intact or a torn .tmp that Restore never opens — never a
+// torn file under path. The faultpoint "sampler.checkpoint.write"
+// simulates a crash mid-write: half the image lands on disk and the
+// writer aborts with no cleanup, exactly what losing the process there
+// would leave behind.
 func (w *Worker) CheckpointFile(path string) error {
+	var buf bytes.Buffer
+	if err := w.Checkpoint(&buf); err != nil {
+		return err
+	}
+	data := buf.Bytes()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := w.Checkpoint(f); err != nil {
+	if ferr := faultpoint.Inject("sampler.checkpoint.write"); ferr != nil {
+		//lint:allow droppederror injected crash: the torn half-write and dangling handle ARE the scenario under test
+		f.Write(data[:len(data)/2])
+		f.Close()
+		return ferr
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -59,7 +86,21 @@ func (w *Worker) CheckpointFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // snapshotShard serializes one shard (runs inside the owning actor).

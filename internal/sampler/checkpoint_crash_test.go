@@ -1,0 +1,88 @@
+package sampler
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helios/internal/faultpoint"
+	"helios/internal/graph"
+	"helios/internal/mq"
+	"helios/internal/query"
+)
+
+// TestTornCheckpointNeverLoaded proves the crash-safety contract of
+// CheckpointFile: a crash mid-write (injected via the
+// sampler.checkpoint.write faultpoint, which tears the temp file in half
+// and aborts with no cleanup) must leave the previous checkpoint under
+// path untouched, and the torn remnant must never be accepted by Restore.
+func TestTornCheckpointNeverLoaded(t *testing.T) {
+	defer faultpoint.Reset()
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	s, xfer := testSchema()
+	plan := testPlan(t, s)
+	newWorker := func() *Worker {
+		w, err := New(Config{
+			ID: 0, NumSamplers: 1, NumServers: 1,
+			Plans: []*query.Plan{plan}, Schema: s, Broker: b, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w := newWorker()
+	w.Start()
+	defer w.Stop()
+	ingestEdge(t, b, 1, graph.Edge{Src: 1, Dst: 2, Type: xfer, Ts: 1})
+	ingestEdge(t, b, 1, graph.Edge{Src: 1, Dst: 3, Type: xfer, Ts: 2})
+	drainQuiesce(t, b, w)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+
+	// A good checkpoint lands first.
+	if err := w.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now crash mid-write on the next attempt.
+	faultpoint.ErrorOnce("sampler.checkpoint.write")
+	if err := w.CheckpointFile(path); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("torn checkpoint write returned %v, want injected error", err)
+	}
+
+	// The published checkpoint is byte-identical to the pre-crash image.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("crash mid-write disturbed the published checkpoint")
+	}
+
+	// The torn temp file exists (the crash left it) but Restore refuses it.
+	torn, err := os.ReadFile(path + ".tmp")
+	if err != nil {
+		t.Fatalf("expected a torn temp file: %v", err)
+	}
+	if len(torn) >= len(good) {
+		t.Fatalf("temp file not torn: %d bytes vs %d full", len(torn), len(good))
+	}
+	w2 := newWorker()
+	if err := w2.RestoreFile(path + ".tmp"); err == nil {
+		t.Fatal("Restore accepted a torn checkpoint")
+	}
+
+	// The intact checkpoint still restores.
+	w3 := newWorker()
+	if err := w3.RestoreFile(path); err != nil {
+		t.Fatalf("intact checkpoint failed to restore: %v", err)
+	}
+}

@@ -62,6 +62,10 @@ type Config struct {
 	TTL time.Duration
 	// Seed makes the randomized strategies reproducible per worker.
 	Seed int64
+	// CommitEvery paces committing the poll positions back to the broker.
+	// The committed updates offset is the lag signal the frontend and
+	// broker use for ingestion backpressure; 0 defaults to 100ms.
+	CommitEvery time.Duration
 	// Clock is the time source for touch stamps and TTL sweeps; nil
 	// defaults to the wall clock. Tests inject a fake so expiry and
 	// recovery are deterministic (no sleeping), and the walltime analyzer
@@ -94,6 +98,9 @@ func (c *Config) fill() error {
 	}
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 1024
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 100 * time.Millisecond
 	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
@@ -143,6 +150,10 @@ type Worker struct {
 	shards     []*shard
 	updOffset  atomic.Int64
 	subsOffset atomic.Int64
+	// last*Commit hold the worker-clock ns of each cursor's last broker
+	// commit (pacing state for maybeCommit).
+	lastUpdCommit  atomic.Int64
+	lastSubsCommit atomic.Int64
 	// startUpd/startSubs are consumer start positions restored from a
 	// checkpoint; replay from there is at-least-once (reprocessing the
 	// in-flight window is idempotent for TopK and harmless for Random —
@@ -374,7 +385,25 @@ func (w *Worker) pollUpdates(c mq.Cursor) bool {
 		w.routeUpdate(u)
 	}
 	w.updOffset.Store(c.Offset())
+	w.maybeCommit(c, &w.lastUpdCommit)
 	return true
+}
+
+// maybeCommit pushes a cursor's poll position to the broker at most once
+// per CommitEvery. Committed offsets are the lag signal for ingestion
+// backpressure and the at-least-once replay floor; they are advisory, so a
+// lost commit only delays the signal by one interval.
+func (w *Worker) maybeCommit(c mq.Cursor, last *atomic.Int64) {
+	now := w.cfg.Clock.Now().UnixNano()
+	prev := last.Load()
+	if now-prev < w.cfg.CommitEvery.Nanoseconds() {
+		return
+	}
+	if !last.CompareAndSwap(prev, now) {
+		return
+	}
+	//lint:allow droppederror best-effort commit: failure only delays the broker's lag signal one interval
+	_ = c.Commit()
 }
 
 // routeUpdate fans an update out to the sampling actors that own state it
@@ -436,6 +465,7 @@ func (w *Worker) pollSubs(c mq.Cursor) bool {
 		}
 	}
 	w.subsOffset.Store(c.Offset())
+	w.maybeCommit(c, &w.lastSubsCommit)
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"helios/internal/codec"
 	"helios/internal/graph"
 	"helios/internal/obs"
+	"helios/internal/overload"
 	"helios/internal/query"
 	"helios/internal/rpc"
 )
@@ -51,6 +52,12 @@ func AppendResult(w *codec.Writer, res *Result) {
 		w.String(s.Name)
 		w.Varint(s.Dur)
 	}
+	degraded := uint64(0)
+	if res.Degraded {
+		degraded = 1
+	}
+	w.Uvarint(degraded)
+	w.Varint(res.StalenessNS)
 }
 
 // DecodeResult parses a Result.
@@ -102,6 +109,8 @@ func DecodeResult(r *codec.Reader) (*Result, error) {
 	for i := 0; i < ns; i++ {
 		res.Stages = append(res.Stages, obs.Span{Name: r.String(), Dur: r.Varint()})
 	}
+	res.Degraded = r.Uvarint() == 1
+	res.StalenessNS = r.Varint()
 	return res, r.Err()
 }
 
@@ -113,29 +122,71 @@ func errOr(r *codec.Reader, fallback error) error {
 }
 
 // ServeRPC registers the worker's sampling method on srv. The frame's
-// trace ID (if any) rides into the serving pool so the worker records its
-// leg of the trace and returns the stage spans to the caller.
+// trace ID and deadline budget (if any) ride into the serving pool so the
+// worker records its leg of the trace, abandons work the caller gave up on,
+// and returns the stage spans to the caller.
 func ServeRPC(w *Worker, srv *rpc.Server) {
 	srv.Handle(MethodPing, func(req []byte) ([]byte, error) {
 		return nil, nil
 	})
-	srv.HandleTraced(MethodSample, func(trace uint64, req []byte) ([]byte, error) {
+	srv.HandleCtx(MethodSample, func(ctx rpc.Ctx, req []byte) ([]byte, error) {
 		r := codec.NewReader(req)
 		qid := query.ID(r.Uvarint())
 		seed := graph.VertexID(r.Uvarint())
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		resp := make(chan Response, 1)
-		w.Submit(Request{Query: qid, Seed: seed, Resp: resp, Trace: trace})
-		out := <-resp
-		if out.Err != nil {
-			return nil, out.Err
+		res, err := w.ServeAdmitted(ctx, qid, seed)
+		if err != nil {
+			return nil, err
 		}
 		cw := codec.NewWriter(1024)
-		AppendResult(cw, out.Result)
+		AppendResult(cw, res)
 		return cw.Bytes(), nil
 	})
+}
+
+// ServeAdmitted runs one sampling request through the worker's admission
+// limiter and the serve pool. It is the overload surface of the worker:
+//
+//   - the limiter sheds when the queue is full or the remaining budget
+//     cannot cover the observed service time;
+//   - a shed request with budget left gets the degraded path instead when
+//     cfg.Degrade is on — a cached answer now beats an error;
+//   - an admitted request carries its deadline into the pool (fast-fail at
+//     dequeue) and the caller stops waiting the moment the budget runs out.
+func (w *Worker) ServeAdmitted(ctx rpc.Ctx, qid query.ID, seed graph.VertexID) (*Result, error) {
+	release, err := w.limiter.Acquire(ctx.Deadline)
+	if err != nil {
+		if w.cfg.Degrade && overload.IsOverload(err) && !ctx.Expired(w.cfg.Clock.Now()) {
+			if res, derr := w.SampleDegraded(qid, seed); derr == nil {
+				return res, nil
+			}
+		}
+		return nil, err
+	}
+	defer release()
+	resp := make(chan Response, 1)
+	req := Request{Query: qid, Seed: seed, Resp: resp, Trace: ctx.Trace}
+	if !ctx.Deadline.IsZero() {
+		req.Deadline = ctx.Deadline.UnixNano()
+	}
+	w.Submit(req)
+	if ctx.Deadline.IsZero() {
+		out := <-resp
+		return out.Result, out.Err
+	}
+	t := time.NewTimer(ctx.Deadline.Sub(w.cfg.Clock.Now()))
+	defer t.Stop()
+	select {
+	case out := <-resp:
+		return out.Result, out.Err
+	case <-t.C:
+		// The pool will still dequeue the request and fast-fail it; resp is
+		// buffered, so nothing leaks.
+		w.deadlineExp.Inc()
+		return nil, rpc.ErrDeadlineExceeded
+	}
 }
 
 // Client calls a remote serving worker.
@@ -180,10 +231,22 @@ func (c *Client) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 // SampleTraced is Sample carrying a trace ID in the RPC envelope; the
 // returned Result includes the worker's stage spans.
 func (c *Client) SampleTraced(qid query.ID, seed graph.VertexID, trace uint64) (*Result, error) {
+	return c.SampleBudget(qid, seed, trace, 0)
+}
+
+// SampleBudget is SampleTraced with an explicit deadline budget: the call
+// times out — and the RPC frame tells the worker to abandon the request —
+// after min(budget, the client's configured timeout). budget <= 0 means
+// the configured timeout alone.
+func (c *Client) SampleBudget(qid query.ID, seed graph.VertexID, trace uint64, budget time.Duration) (*Result, error) {
+	timeout := c.timeout
+	if budget > 0 && budget < timeout {
+		timeout = budget
+	}
 	w := codec.NewWriter(20)
 	w.Uvarint(uint64(qid))
 	w.Uvarint(uint64(seed))
-	resp, err := c.c.CallTraced(MethodSample, trace, w.Bytes(), c.timeout)
+	resp, err := c.c.CallTraced(MethodSample, trace, w.Bytes(), timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -19,12 +19,15 @@ import (
 	"helios/internal/actor"
 	"helios/internal/clock"
 	"helios/internal/codec"
+	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/kvstore"
 	"helios/internal/metrics"
 	"helios/internal/mq"
 	"helios/internal/obs"
+	"helios/internal/overload"
 	"helios/internal/query"
+	"helios/internal/rpc"
 	"helios/internal/wire"
 )
 
@@ -49,6 +52,25 @@ type Config struct {
 	MailboxDepth int
 	// TTL expires cache entries untouched for this long; 0 disables.
 	TTL time.Duration
+	// MaxInflight bounds concurrently admitted sampling RPCs (the serving
+	// admission limiter); 0 defaults to 4×ServeThreads. Requests beyond the
+	// bound queue (up to MaxAdmitQueue) and then shed.
+	MaxInflight int
+	// MaxAdmitQueue bounds RPCs waiting for admission; 0 defaults to
+	// MailboxDepth.
+	MaxAdmitQueue int
+	// Degrade serves a degraded result — the cached K-hop answer assembled
+	// inline, skipping the serve-pool queue — when the admission limiter
+	// sheds a request that still has deadline budget. Off by default;
+	// binaries enable it via -degrade.
+	Degrade bool
+	// DegradeInflight bounds concurrent degraded-path assemblies; 0
+	// defaults to ServeThreads.
+	DegradeInflight int
+	// CommitEvery paces committing the sample-queue poll position back to
+	// the broker (broker-side lag for ingestion backpressure); 0 defaults
+	// to 100ms.
+	CommitEvery time.Duration
 	// Clock is the time source for latency stamps, TTL sweeps, and request
 	// spans; nil defaults to the wall clock. Tests inject a fake so latency
 	// assertions never sleep.
@@ -82,6 +104,18 @@ func (c *Config) fill() error {
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 1024
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.ServeThreads
+	}
+	if c.MaxAdmitQueue <= 0 {
+		c.MaxAdmitQueue = c.MailboxDepth
+	}
+	if c.DegradeInflight <= 0 {
+		c.DegradeInflight = c.ServeThreads
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 100 * time.Millisecond
+	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
 	}
@@ -105,6 +139,11 @@ type Request struct {
 	// Enqueued is the submit nanosecond (worker clock), stamped by Submit;
 	// the serving actor derives the queue-wait span from it.
 	Enqueued int64
+	// Deadline is the request's absolute deadline in nanoseconds on the
+	// worker clock's epoch (0 = none). A request found expired at dequeue —
+	// or mid-assembly — fails fast with rpc.ErrDeadlineExceeded instead of
+	// finishing work the caller already abandoned.
+	Deadline int64
 }
 
 // Response carries the assembled result.
@@ -131,6 +170,16 @@ type Result struct {
 	// Lookups counts sample-table lookups performed (bounded by
 	// Query.MaxLookups).
 	Lookups int
+	// Degraded marks a result served on the degraded path: assembled
+	// inline from the cache under shedding pressure, without waiting on
+	// the serve pool (and therefore on any in-flight cache refreshes the
+	// queue would have ordered it behind). The answer is exactly as fresh
+	// as the cache was at assembly — StalenessNS says how fresh that is.
+	Degraded bool
+	// StalenessNS is the cache's event-time staleness at assembly for
+	// degraded results (0 for normal results): the worker's
+	// serving.staleness_ns gauge at the moment the answer was built.
+	StalenessNS int64
 	// Stages is the request's span decomposition (queue wait, K-hop
 	// assembly, feature fetch). Populated by Sample/handleRequest and
 	// carried back over RPC so the frontend can complete the trace.
@@ -175,7 +224,13 @@ type Worker struct {
 
 	samplesTopic mq.TopicHandle
 	consumed     atomic.Int64
+	lastCommit   atomic.Int64 // worker-clock ns of the last broker commit
 	pollers      *actor.Loop
+
+	// limiter admits sampling RPCs; degradedLim bounds the inline degraded
+	// path so a shed storm cannot convert itself into unbounded inline work.
+	limiter     *overload.Limiter
+	degradedLim *overload.Limiter
 	updatePool   *actor.Pool[wire.Message]
 	servePool    *actor.Pool[Request]
 	sweeper      *actor.Loop
@@ -196,6 +251,8 @@ type Worker struct {
 	featureHits   *metrics.Counter
 	featureMisses *metrics.Counter
 	expired       *metrics.Counter
+	degraded      *metrics.Counter
+	deadlineExp   *metrics.Counter
 	queryLat      *metrics.Histogram
 	ingestLat     *metrics.Histogram
 	staleness     *obs.Gauge
@@ -218,6 +275,20 @@ func New(cfg Config) (*Worker, error) {
 		db.Close()
 		return nil, err
 	}
+	w.limiter = overload.NewLimiter(overload.Config{
+		Stage:       "serving",
+		MaxInflight: cfg.MaxInflight,
+		MaxQueue:    cfg.MaxAdmitQueue,
+		Clock:       cfg.Clock,
+		Metrics:     cfg.Metrics,
+	})
+	w.degradedLim = overload.NewLimiter(overload.Config{
+		Stage:       "serving_degraded",
+		MaxInflight: cfg.DegradeInflight,
+		MaxQueue:    -1, // TryAcquire only: the degraded path never queues
+		Clock:       cfg.Clock,
+		Metrics:     cfg.Metrics,
+	})
 	w.registerMetrics()
 	return w, nil
 }
@@ -234,6 +305,8 @@ func (w *Worker) registerMetrics() {
 	w.featureHits = reg.Counter("serving.feature_hits", "worker", worker)
 	w.featureMisses = reg.Counter("serving.feature_misses", "worker", worker)
 	w.expired = reg.Counter("serving.expired", "worker", worker)
+	w.degraded = reg.Counter("serving.degraded", "worker", worker)
+	w.deadlineExp = reg.Counter("serving.deadline_expired", "worker", worker)
 	w.queryLat = reg.Histogram("serving.query_latency_ns", "worker", worker)
 	w.ingestLat = reg.Histogram("serving.ingest_latency_ns", "worker", worker)
 	w.staleness = reg.Gauge("serving.staleness_ns", "worker", worker)
@@ -320,7 +393,25 @@ func (w *Worker) poll(c mq.Cursor) bool {
 		w.updatePool.Send(uint64(m.Vertex), m)
 	}
 	w.consumed.Store(c.Offset())
+	w.maybeCommit(c)
 	return true
+}
+
+// maybeCommit pushes the poll position to the broker at most once per
+// CommitEvery. The committed offset feeds the broker-side lag signal used
+// for ingestion backpressure; it is purely advisory, so a lost commit only
+// delays that signal by one interval.
+func (w *Worker) maybeCommit(c mq.Cursor) {
+	now := w.cfg.Clock.Now().UnixNano()
+	last := w.lastCommit.Load()
+	if now-last < w.cfg.CommitEvery.Nanoseconds() {
+		return
+	}
+	if !w.lastCommit.CompareAndSwap(last, now) {
+		return
+	}
+	//lint:allow droppederror best-effort commit: failure only delays the broker's lag signal one interval
+	_ = c.Commit()
 }
 
 // Cache key layout: prefix byte, then big-endian fixed-width components so
@@ -443,7 +534,17 @@ func (w *Worker) Submit(req Request) {
 
 func (w *Worker) handleRequest(_ int, req Request) {
 	start := w.cfg.Clock.Now()
-	res, err := w.Sample(req.Query, req.Seed)
+	if req.Deadline > 0 && start.UnixNano() >= req.Deadline {
+		// The caller's budget burned up while this request sat in the serve
+		// queue: fail fast instead of assembling an answer nobody is waiting
+		// for (the tentpole's "abandon work when the caller gives up").
+		w.deadlineExp.Inc()
+		if req.Resp != nil {
+			req.Resp <- Response{Err: rpc.ErrDeadlineExceeded}
+		}
+		return
+	}
+	res, err := w.sample(req.Query, req.Seed, req.Deadline)
 	end := w.cfg.Clock.Now()
 	if res != nil && req.Enqueued > 0 {
 		wait := start.UnixNano() - req.Enqueued
@@ -474,6 +575,44 @@ func (w *Worker) handleRequest(_ int, req Request) {
 // independent of the seed's actual degree — the property that removes the
 // long tail of Fig. 4.
 func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
+	return w.sample(qid, seed, 0)
+}
+
+// SampleDegraded assembles the cached K-hop answer inline — on the caller's
+// goroutine, skipping the serve pool and any in-flight cache refreshes the
+// queue would have ordered it behind. It is the graceful-degradation path:
+// when the admission limiter sheds a request that still has budget, a
+// slightly stale answer now beats a shed. The result is tagged Degraded with
+// the cache's staleness at assembly. A dedicated TryAcquire-only limiter
+// bounds concurrent inline assemblies so a shed storm cannot turn into
+// unbounded inline work.
+func (w *Worker) SampleDegraded(qid query.ID, seed graph.VertexID) (*Result, error) {
+	release, ok := w.degradedLim.TryAcquire()
+	if !ok {
+		return nil, overload.Shed("serving", "degraded_full")
+	}
+	defer release()
+	res, err := w.sample(qid, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = true
+	res.StalenessNS = w.staleness.Value()
+	w.degraded.Inc()
+	overload.MarkDegraded()
+	return res, nil
+}
+
+// sample is the deadline-aware core of Sample: deadline (worker-clock epoch
+// ns, 0 = none) is checked between hops and before the feature pass, so an
+// abandoned request stops mid-assembly instead of finishing all Π C_i
+// lookups.
+func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64) (*Result, error) {
+	// Chaos hook: burst drills arm a delay here to slow the serve path
+	// without touching the cache (scripts/burst-smoke.sh, burst_test.go).
+	if err := faultpoint.Inject("serving.sample"); err != nil {
+		return nil, err
+	}
 	plan, ok := w.plans[qid]
 	if !ok {
 		return nil, fmt.Errorf("serving: unknown query %d", qid)
@@ -513,6 +652,10 @@ func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
 		}
 		res.Layers = append(res.Layers, next)
 		frontier = next
+		if deadline > 0 && w.cfg.Clock.Now().UnixNano() >= deadline {
+			w.deadlineExp.Inc()
+			return nil, rpc.ErrDeadlineExceeded
+		}
 	}
 	assembled := w.cfg.Clock.Now()
 	// Feature pass over every distinct vertex in the tree.
