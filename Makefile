@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check obs-smoke chaos-smoke burst-smoke
+.PHONY: build vet lint test race check obs-smoke chaos-smoke burst-smoke alloc-regression
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,17 @@ chaos-smoke:
 burst-smoke:
 	bash scripts/burst-smoke.sh
 
+# Re-measures allocs/op on the codec/wire hot paths and diffs the
+# alloc.allocs_per_kop gauges against the committed BENCH_alloc.json —
+# the runtime twin of the hotpathalloc lint pass (see
+# scripts/alloc-regression.sh).
+alloc-regression:
+	bash scripts/alloc-regression.sh
+
 # The tier-1 gate: every PR must leave this green.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/helios-lint ./...
 	$(GO) test -race -count=1 ./...
+	bash scripts/alloc-regression.sh

@@ -8,7 +8,7 @@
 //	helios-bench [flags] <experiment>
 //
 // Experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw all
+// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc all
 //
 // (fig9 prints both the throughput rows of Fig. 9 and the latency rows of
 // Fig. 10 — they come from the same sweep.)
@@ -57,7 +57,7 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: helios-bench [flags] <experiment>")
-		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc all")
 		os.Exit(2)
 	}
 
@@ -119,6 +119,8 @@ func main() {
 			return func(c experiments.Config) error { _, err := f(c); return err }
 		case func(experiments.Config) ([]experiments.RAWResult, error):
 			return func(c experiments.Config) error { _, err := f(c); return err }
+		case func(experiments.Config) ([]experiments.AllocPoint, error):
+			return func(c experiments.Config) error { _, err := f(c); return err }
 		default:
 			panic("helios-bench: unhandled experiment signature")
 		}
@@ -141,6 +143,7 @@ func main() {
 		{"fig18", wrap(experiments.Fig18)},
 		{"fig19", wrap(experiments.Fig19)},
 		{"raw", wrap(experiments.ReadAfterWrite)},
+		{"alloc", wrap(experiments.Alloc)},
 	}
 
 	name := strings.ToLower(flag.Arg(0))

@@ -106,7 +106,7 @@ func main() {
 				case <-stopCkpt:
 					return
 				case <-t.C:
-					//lint:allow droppederror best-effort liveness beat; a missed beat just reads as dead until the next one lands
+					//lint:allow droppederror reason=best-effort liveness beat; a missed beat just reads as dead until the next one lands
 					_ = hb.Heartbeat(name, coord.KindSampler)
 				}
 			}

@@ -1,0 +1,75 @@
+package codec
+
+import "testing"
+
+// encodePrimitives exercises every hot-path Writer method once into a
+// reused writer.
+func encodePrimitives(w *Writer, scratch []byte) {
+	w.Reset()
+	w.Byte(3)
+	w.Uvarint(1 << 40)
+	w.Varint(-77)
+	w.Float32(0.5)
+	w.Bytes32(scratch)
+	w.Raw(scratch)
+	w.Float32s([]float32{1, 2, 3, 4})
+}
+
+// TestPrimitivesZeroAlloc is the runtime twin of the hotpathalloc lint
+// pass: the reuse path through the codec — Writer.Reset plus a
+// stack-allocated Reader recycled with Reset and Float32sAppend — must
+// stay at exactly zero allocations per round-trip. A regression here
+// means a hot-path method grew an allocation the static pass cannot see
+// (interface conversion, escape, map access), so the twin fails even
+// when the lint run is clean.
+func TestPrimitivesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	w := NewWriter(256)
+	scratch := []byte("0123456789abcdef")
+	floats := make([]float32, 0, 8)
+	var r Reader
+	allocs := testing.AllocsPerRun(200, func() {
+		encodePrimitives(w, scratch)
+		r.Reset(w.Bytes())
+		_ = r.Byte()
+		_ = r.Uvarint()
+		_ = r.Varint()
+		_ = r.Float32()
+		_ = r.Bytes32()
+		_ = r.RawN(len(scratch))
+		floats = r.Float32sAppend(floats[:0])
+		if err := r.Finish(); err != nil {
+			t.Fatalf("round-trip: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("codec primitives reuse path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPrimitivesRoundTrip is the number behind BENCH_alloc.json's
+// codec gauge; b.ReportAllocs keeps allocs/op visible in plain bench
+// output too.
+func BenchmarkPrimitivesRoundTrip(b *testing.B) {
+	w := NewWriter(256)
+	scratch := []byte("0123456789abcdef")
+	floats := make([]float32, 0, 8)
+	var r Reader
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encodePrimitives(w, scratch)
+		r.Reset(w.Bytes())
+		_ = r.Byte()
+		_ = r.Uvarint()
+		_ = r.Varint()
+		_ = r.Float32()
+		_ = r.Bytes32()
+		_ = r.RawN(len(scratch))
+		floats = r.Float32sAppend(floats[:0])
+		if err := r.Finish(); err != nil {
+			b.Fatalf("round-trip: %v", err)
+		}
+	}
+}

@@ -40,16 +40,22 @@ func (w *Writer) Bytes() []byte { return w.buf }
 func (w *Writer) Len() int { return len(w.buf) }
 
 // Uvarint appends an unsigned varint.
+//
+//lint:hotpath
 func (w *Writer) Uvarint(v uint64) {
 	w.buf = binary.AppendUvarint(w.buf, v)
 }
 
 // Varint appends a zigzag-encoded signed varint.
+//
+//lint:hotpath
 func (w *Writer) Varint(v int64) {
 	w.buf = binary.AppendVarint(w.buf, v)
 }
 
 // Byte appends a single byte.
+//
+//lint:hotpath
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
 
 // Bool appends a boolean as one byte.
@@ -62,6 +68,8 @@ func (w *Writer) Bool(b bool) {
 }
 
 // Float32 appends a float32 as 4 little-endian bytes.
+//
+//lint:hotpath
 func (w *Writer) Float32(f float32) {
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(f))
 }
@@ -78,17 +86,23 @@ func (w *Writer) String(s string) {
 }
 
 // Bytes32 appends a length-prefixed byte slice.
+//
+//lint:hotpath
 func (w *Writer) Bytes32(b []byte) {
 	w.Uvarint(uint64(len(b)))
 	w.buf = append(w.buf, b...)
 }
 
 // Raw appends bytes verbatim, without a length prefix.
+//
+//lint:hotpath
 func (w *Writer) Raw(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
 // Float32s appends a length-prefixed []float32.
+//
+//lint:hotpath
 func (w *Writer) Float32s(fs []float32) {
 	w.Uvarint(uint64(len(fs)))
 	for _, f := range fs {
@@ -117,6 +131,13 @@ type Reader struct {
 // NewReader returns a reader over buf. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset points the reader at buf and clears position and sticky error, so
+// one stack-allocated Reader (`var r Reader; r.Reset(buf)`) can decode an
+// unbounded stream of records without a per-record heap allocation.
+//
+//lint:hotpath
+func (r *Reader) Reset(buf []byte) { *r = Reader{buf: buf} }
+
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
@@ -130,6 +151,8 @@ func (r *Reader) fail() {
 }
 
 // Uvarint reads an unsigned varint.
+//
+//lint:hotpath
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -144,6 +167,8 @@ func (r *Reader) Uvarint() uint64 {
 }
 
 // Varint reads a zigzag-encoded signed varint.
+//
+//lint:hotpath
 func (r *Reader) Varint() int64 {
 	if r.err != nil {
 		return 0
@@ -158,6 +183,8 @@ func (r *Reader) Varint() int64 {
 }
 
 // Byte reads one byte.
+//
+//lint:hotpath
 func (r *Reader) Byte() byte {
 	if r.err != nil {
 		return 0
@@ -175,6 +202,8 @@ func (r *Reader) Byte() byte {
 func (r *Reader) Bool() bool { return r.Byte() != 0 }
 
 // Float32 reads a float32.
+//
+//lint:hotpath
 func (r *Reader) Float32() float32 {
 	if r.err != nil {
 		return 0
@@ -262,6 +291,27 @@ func (r *Reader) Float32s() []float32 {
 		out[i] = r.Float32()
 	}
 	return out
+}
+
+// Float32sAppend reads a length-prefixed []float32 into dst, growing it
+// only when its capacity is exhausted. Passing a recycled `buf[:0]` makes
+// the steady-state decode allocation-free; Float32s is the convenience
+// form that always allocates.
+//
+//lint:hotpath
+func (r *Reader) Float32sAppend(dst []float32) []float32 {
+	n := int(r.Uvarint())
+	if r.err != nil || n == 0 {
+		return dst
+	}
+	if n < 0 || n > r.Remaining()/4 {
+		r.fail()
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.Float32())
+	}
+	return dst
 }
 
 // Uint64s reads a length-prefixed []uint64.

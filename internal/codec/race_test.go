@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether the race detector is on. The detector's
+// instrumentation inserts allocations of its own, so the zero-alloc
+// assertions skip themselves under -race and run everywhere else.
+const raceEnabled = true

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"helios/internal/codec"
+	"helios/internal/graph"
+	"helios/internal/query"
+	"helios/internal/wire"
+)
+
+// AllocPoint is one measured allocation rate on a codec/wire path.
+type AllocPoint struct {
+	// Case names the measured path (a bounded constant, so it is usable
+	// as a metric label).
+	Case string
+	// AllocsPerOp is testing.AllocsPerRun over the case's op.
+	AllocsPerOp float64
+	// WantZero marks the reuse paths that the hotpathalloc lint pass and
+	// the package alloc tests pin at exactly zero.
+	WantZero bool
+}
+
+// Bounded label set for the alloc gauges; the metriclabel analyzer
+// requires constants here.
+const (
+	allocCaseCodecPrimitives = "codec_primitives_reuse"
+	allocCaseWireRoundTrip   = "wire_roundtrip_reuse"
+	allocCaseWireEncodeFresh = "wire_encode_fresh"
+	allocCaseWireDecodeFresh = "wire_decode_fresh"
+)
+
+// Alloc measures allocations per operation on the serialization hot
+// paths — the runtime twin of the hotpathalloc lint pass. The two reuse
+// cases (Writer.Reset + Reader.Reset/Float32sAppend, and wire.Append +
+// wire.DecodeInto) must hold at exactly 0 allocs/op; the fresh-buffer
+// Encode/Decode cases are tracked so scripts/alloc-regression.sh can
+// flag any increase against the committed BENCH_alloc.json snapshot.
+//
+// Each case publishes a gauge alloc.allocs_per_kop{case=<name>} —
+// allocations per thousand operations, so sub-1.0 rates survive integer
+// gauges — into cfg.Metrics.
+func Alloc(cfg Config) ([]AllocPoint, error) {
+	cfg = cfg.Defaults()
+
+	msgs := []wire.Message{
+		{
+			Kind:   wire.KindSampleUpsert,
+			Hop:    query.HopID(7),
+			Vertex: graph.VertexID(123456),
+			Samples: []wire.SampleRef{
+				{Neighbor: 11, Ts: 100, Weight: 0.25},
+				{Neighbor: 22, Ts: 200, Weight: 0.5},
+				{Neighbor: 33, Ts: 300, Weight: 0.75},
+			},
+			Ingested: 42,
+			Trace:    9,
+		},
+		{
+			Kind:     wire.KindFeatureUpdate,
+			Vertex:   graph.VertexID(99),
+			Feature:  []float32{1, 2, 3, 4, 5, 6, 7, 8},
+			Ingested: 43,
+		},
+		{Kind: wire.KindSubDelta, Hop: 1, Vertex: 2, SEW: 3, Delta: -1},
+	}
+	encoded := make([][]byte, len(msgs))
+	for i := range msgs {
+		encoded[i] = wire.Encode(&msgs[i])
+	}
+
+	points := []AllocPoint{
+		{Case: allocCaseCodecPrimitives, WantZero: true, AllocsPerOp: allocsCodecPrimitives()},
+		{Case: allocCaseWireRoundTrip, WantZero: true, AllocsPerOp: allocsWireRoundTrip(msgs)},
+		{Case: allocCaseWireEncodeFresh, AllocsPerOp: testing.AllocsPerRun(200, func() {
+			for i := range msgs {
+				_ = wire.Encode(&msgs[i])
+			}
+		})},
+		{Case: allocCaseWireDecodeFresh, AllocsPerOp: testing.AllocsPerRun(200, func() {
+			for _, buf := range encoded {
+				if _, err := wire.Decode(buf); err != nil {
+					panic(err)
+				}
+			}
+		})},
+	}
+
+	cfg.printf("Alloc discipline: allocations per op on serialization hot paths\n")
+	cfg.printf("%-24s %12s %s\n", "case", "allocs/op", "gate")
+	for _, p := range points {
+		gate := "tracked"
+		if p.WantZero {
+			gate = "must be 0"
+		}
+		cfg.printf("%-24s %12.3f %s\n", p.Case, p.AllocsPerOp, gate)
+		if cfg.Metrics != nil {
+			kop := int64(math.Round(p.AllocsPerOp * 1000))
+			cfg.Metrics.Gauge("alloc.allocs_per_kop", "case", p.Case).Set(kop)
+		}
+	}
+	for _, p := range points {
+		if p.WantZero && p.AllocsPerOp != 0 {
+			return points, fmt.Errorf("experiments: %s allocates %.3f/op, want 0 (hot-path reuse regression)", p.Case, p.AllocsPerOp)
+		}
+	}
+	return points, nil
+}
+
+// allocsCodecPrimitives mirrors codec's TestPrimitivesZeroAlloc: every
+// hot-path Writer/Reader method once per op, all buffers reused.
+func allocsCodecPrimitives() float64 {
+	w := codec.NewWriter(256)
+	scratch := []byte("0123456789abcdef")
+	floats := make([]float32, 0, 8)
+	var r codec.Reader
+	return testing.AllocsPerRun(200, func() {
+		w.Reset()
+		w.Byte(3)
+		w.Uvarint(1 << 40)
+		w.Varint(-77)
+		w.Float32(0.5)
+		w.Bytes32(scratch)
+		w.Raw(scratch)
+		w.Float32s([]float32{1, 2, 3, 4})
+		r.Reset(w.Bytes())
+		_ = r.Byte()
+		_ = r.Uvarint()
+		_ = r.Varint()
+		_ = r.Float32()
+		_ = r.Bytes32()
+		_ = r.RawN(len(scratch))
+		floats = r.Float32sAppend(floats[:0])
+		if err := r.Finish(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// allocsWireRoundTrip mirrors wire's TestRoundTripZeroAlloc: Append into
+// a reused Writer, DecodeInto into a reused Message, across a mixed-kind
+// stream.
+func allocsWireRoundTrip(msgs []wire.Message) float64 {
+	w := codec.NewWriter(256)
+	var out wire.Message
+	for i := range msgs {
+		w.Reset()
+		wire.Append(w, &msgs[i])
+		if err := wire.DecodeInto(w.Bytes(), &out); err != nil {
+			panic(err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		for i := range msgs {
+			w.Reset()
+			wire.Append(w, &msgs[i])
+			if err := wire.DecodeInto(w.Bytes(), &out); err != nil {
+				panic(err)
+			}
+		}
+	})
+}

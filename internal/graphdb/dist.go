@@ -183,6 +183,11 @@ func (d *Dist) Ingest(u graph.Update) error {
 // touched partition, then a feature-fetch round.
 func (d *Dist) Execute(plan *query.Plan, seed graph.VertexID) (*Result, ExecStats, error) {
 	var stats ExecStats
+	// d.timeout budgets the whole query, not each RPC: every fan-out call
+	// below draws its wait from this one deadline, so the worst-case
+	// Execute latency stays d.timeout regardless of hop count or how many
+	// partitions the frontier touches.
+	deadline := time.Now().Add(d.timeout)
 	res := &Result{
 		Layers:   [][]graph.VertexID{{seed}},
 		Features: make(map[graph.VertexID][]float32),
@@ -209,7 +214,7 @@ func (d *Dist) Execute(plan *query.Plan, seed graph.VertexID) (*Result, ExecStat
 			for _, v := range vs {
 				w.Uvarint(uint64(v))
 			}
-			resp, err := d.clients[p].Call(methodSample, w.Bytes(), d.timeout)
+			resp, err := d.clients[p].Call(methodSample, w.Bytes(), time.Until(deadline))
 			if err != nil {
 				return nil, stats, err
 			}
@@ -255,7 +260,7 @@ func (d *Dist) Execute(plan *query.Plan, seed graph.VertexID) (*Result, ExecStat
 		for _, v := range vs {
 			w.Uvarint(uint64(v))
 		}
-		resp, err := d.clients[p].Call(methodFeat, w.Bytes(), d.timeout)
+		resp, err := d.clients[p].Call(methodFeat, w.Bytes(), time.Until(deadline))
 		if err != nil {
 			return nil, stats, err
 		}

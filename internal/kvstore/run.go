@@ -107,6 +107,11 @@ func writeRun(path string, kvs []flushEntry, bloomBits int) (*run, error) {
 // openRun reopens an existing run file, rebuilding the bloom filter and
 // sparse index with one sequential scan.
 func openRun(path string, bloomBits int) (*run, error) {
+	// Recovery-read boundary: a fault here models a run file that became
+	// unreadable between crash and restart.
+	if err := faultpoint.Inject("kvstore.run.open"); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -178,6 +183,9 @@ func (r *run) get(key []byte) (value []byte, tomb, found bool, err error) {
 	} else {
 		end = r.size
 	}
+	if err := faultpoint.Inject("kvstore.run.read"); err != nil {
+		return nil, false, false, err
+	}
 	buf := make([]byte, end-start)
 	if _, err := r.f.ReadAt(buf, start); err != nil {
 		return nil, false, false, fmt.Errorf("kvstore: read %s: %w", r.path, err)
@@ -200,6 +208,11 @@ func (r *run) get(key []byte) (value []byte, tomb, found bool, err error) {
 
 // scan streams every entry in key order.
 func (r *run) scan(fn func(key, value []byte, tomb bool) bool) error {
+	// Compaction/range-read boundary: mergeRuns and Range both funnel
+	// through here, so one hook covers both chaos scenarios.
+	if err := faultpoint.Inject("kvstore.run.scan"); err != nil {
+		return err
+	}
 	data, err := os.ReadFile(r.path)
 	if err != nil {
 		return err

@@ -1,20 +1,41 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
 )
 
-// allowIndex records, per file and line, the analyzers allowlisted by
-// //lint:allow comments. A comment suppresses findings on its own line
-// (trailing comment) and on the line directly below it (own-line comment).
-type allowIndex map[string]map[int]map[string]bool
+// allowEntry is one parsed //lint:allow comment. Entries track how many
+// findings they suppressed during a run so the engine can report stale
+// allows — comments whose analyzer no longer fires on their line — instead
+// of letting dead exemptions accumulate.
+type allowEntry struct {
+	file     string
+	line     int    // line the comment sits on
+	analyzer string // first field after lint:allow ("" if missing)
+	reason   string // text after the reason= clause ("" if absent)
+	pos      token.Pos
+	hits     int // findings suppressed by this comment this run
+}
 
-const allowPrefix = "lint:allow"
+// allowIndex records, per file and line, the //lint:allow comments in
+// force there. A comment suppresses findings on its own line (trailing
+// comment) and on the line directly below it (own-line comment); both
+// lines share the same entry, so a hit on either marks the comment used.
+type allowIndex struct {
+	byLine  map[string]map[int]map[string]*allowEntry
+	entries []*allowEntry
+}
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
-	idx := make(allowIndex)
+const (
+	allowPrefix  = "lint:allow"
+	reasonClause = "reason="
+)
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int]map[string]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -23,24 +44,31 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				name := fields[0]
 				pos := fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
+				e := &allowEntry{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					e.analyzer = fields[0]
+				}
+				if i := strings.Index(rest, reasonClause); i >= 0 {
+					e.reason = strings.TrimSpace(rest[i+len(reasonClause):])
+				}
+				idx.entries = append(idx.entries, e)
+				if e.analyzer == "" {
+					continue // malformed; reported by allow hygiene, never suppresses
+				}
+				byLine := idx.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					idx[pos.Filename] = byLine
+					byLine = make(map[int]map[string]*allowEntry)
+					idx.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					names := byLine[line]
 					if names == nil {
-						names = make(map[string]bool)
+						names = make(map[string]*allowEntry)
 						byLine[line] = names
 					}
-					names[name] = true
+					names[e.analyzer] = e
 				}
 			}
 		}
@@ -48,6 +76,59 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 	return idx
 }
 
-func (idx allowIndex) allowed(file string, line int, analyzer string) bool {
-	return idx[file][line][analyzer]
+// allowHygiene audits every //lint:allow comment after a run: a missing
+// analyzer name or reason= clause is always a finding, an unknown analyzer
+// name is always a finding, and a comment that suppressed nothing is stale —
+// but staleness is only judged for analyzers that actually ran, so a
+// -disable'd analyzer does not mark its allows stale.
+func allowHygiene(fset *token.FileSet, pkgs []*Package, ran []*Analyzer) []Finding {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	selected := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		selected[a.Name] = true
+	}
+	var out []Finding
+	report := func(e *allowEntry, format string, args ...any) {
+		pos := fset.Position(e.pos)
+		out = append(out, Finding{
+			Analyzer: "allow",
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range pkgs {
+		if pkg.allows == nil {
+			continue
+		}
+		for _, e := range pkg.allows.entries {
+			switch {
+			case e.analyzer == "":
+				report(e, "lint:allow needs an analyzer name and a reason= clause")
+			case !known[e.analyzer]:
+				report(e, "lint:allow names unknown analyzer %q", e.analyzer)
+			case e.reason == "":
+				report(e, "lint:allow %s needs a reason= clause justifying the exemption", e.analyzer)
+			case e.hits == 0 && selected[e.analyzer]:
+				report(e, "stale lint:allow: %s no longer reports a finding here; delete the comment", e.analyzer)
+			}
+		}
+	}
+	return out
+}
+
+func (idx *allowIndex) allowed(file string, line int, analyzer string) bool {
+	if idx == nil {
+		return false
+	}
+	e := idx.byLine[file][line][analyzer]
+	if e == nil {
+		return false
+	}
+	e.hits++
+	return true
 }

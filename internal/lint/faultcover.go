@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultCover enforces that the storage and transport boundaries stay
+// chaos-testable (§6: recovery correctness is validated by injecting
+// faults at every durable write and network edge). Within the configured
+// packages (Options.FaultpointPkgs), every raw file or network I/O site
+// must be reachable only through a faultpoint hook: either the enclosing
+// function calls faultpoint.Inject/Dropped itself, or every in-module
+// caller is hook-covered (so thin helpers like writeFrame inherit coverage
+// from the call sites that wrap them). Goroutine spawns do not propagate
+// coverage — a hook executed before `go f()` does not wrap the I/O the
+// spawned goroutine performs later.
+var FaultCover = &Analyzer{
+	Name: "faultcover",
+	Doc:  "raw I/O site not reachable through a faultpoint hook",
+	Run:  runFaultCover,
+}
+
+// ioFuncs are package-level stdlib functions that cross a file or network
+// boundary. Teardown and setup calls (Close, Remove, MkdirAll) are exempt:
+// faults there are not on the data path the recovery story depends on.
+var ioFuncs = map[string]map[string]bool{
+	"os":  {"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true, "Create": true, "Rename": true},
+	"io":  {"ReadFull": true, "Copy": true, "CopyN": true},
+	"net": {"Dial": true, "DialTimeout": true},
+}
+
+// ioMethods are data-path methods on stdlib file/socket/buffer types.
+var ioMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Sync": true, "Flush": true,
+}
+
+// ioMethodPkgs are the defining packages whose Read/Write-family methods
+// count as boundary I/O.
+var ioMethodPkgs = map[string]bool{"os": true, "net": true, "bufio": true, "io": true}
+
+func runFaultCover(pass *Pass) {
+	if pass.Index == nil || !pkgMatches(pass.Pkg.PkgPath, pass.Opts.FaultpointPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil || pass.Index.HookCovered(obj) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				desc := ioSite(info, call)
+				if desc == "" {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s in %s is not covered by a faultpoint hook%s; add faultpoint.Inject at this boundary so chaos tests can reach it",
+					desc, fd.Name.Name, uncoveredVia(pass.Index, obj))
+				return true
+			})
+		}
+	}
+}
+
+// ioSite classifies a call as boundary I/O and returns a human-readable
+// description ("os.OpenFile", "(*os.File).ReadAt"), or "" if it is not.
+func ioSite(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if names := ioFuncs[fn.Pkg().Path()]; names[fn.Name()] {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return ""
+	}
+	if !ioMethods[fn.Name()] || !ioMethodPkgs[fn.Pkg().Path()] {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	return "(" + types.TypeString(recv, types.RelativeTo(nil)) + ")." + fn.Name()
+}
+
+// uncoveredVia names the hook-free caller chain entries for the message,
+// so the finding points at which entry path needs instrumentation.
+func uncoveredVia(idx *Index, fn types.Object) string {
+	callers := idx.UncoveredCallers(fn)
+	if len(callers) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(callers))
+	for _, c := range callers {
+		names = append(names, c.Name())
+	}
+	sort.Strings(names)
+	return fmt.Sprintf(" (uncovered callers: %s)", strings.Join(names, ", "))
+}
+
+// pkgMatches reports whether pkgPath contains any of the substrings.
+func pkgMatches(pkgPath string, subs []string) bool {
+	for _, s := range subs {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

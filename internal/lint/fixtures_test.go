@@ -68,6 +68,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{name: "walltime", opts: &Options{DeterministicPkgs: []string{"fixture/walltime"}}},
 		{name: "goroutinestop"},
 		{name: "boundedwait"},
+		{name: "deadlinepass"},
+		{name: "metriclabel"},
+		{name: "hotpathalloc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -116,4 +119,44 @@ func TestLockAcrossBlockModuleFixture(t *testing.T) {
 	}
 	rep := Run(fset, pkgs, analyzers, &Options{BlockingPkgs: []string{"lockmod/mq"}})
 	checkWants(t, fset, pkgs, "lockacrossblock", rep)
+}
+
+// TestFaultCoverModuleFixture loads the three-package faultmod module so
+// faultcover's coverage fixpoint is exercised across package boundaries:
+// hooks in faultmod/boot cover I/O helpers in faultmod/store, hook-free
+// cross-package callers break coverage, and goroutine spawns never
+// propagate it.
+func TestFaultCoverModuleFixture(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, filepath.Join("testdata", "faultmod"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3 (faultmod/{boot,faultpoint,store})", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s has type errors: %v", pkg.PkgPath, pkg.TypeErrors)
+		}
+	}
+	analyzers, err := Select([]string{"faultcover"}, nil)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	rep := Run(fset, pkgs, analyzers, &Options{FaultpointPkgs: []string{"faultmod/store"}})
+	checkWants(t, fset, pkgs, "faultcover", rep)
+	if rep.Suppressed == 0 {
+		t.Errorf("fixture's //lint:allow case did not register as suppressed")
+	}
+	// The shared-helper finding names its hook-free entry path.
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Message, "uncovered callers: SaveUnhooked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding names SaveUnhooked as the uncovered caller; messages: %v", rep.Findings)
+	}
 }

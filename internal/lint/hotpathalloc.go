@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc guards the zero-allocation discipline of functions marked
+// with a `//lint:hotpath` directive in their doc comment — the per-message
+// codec/wire encode-decode path and the serving actor turn, which run once
+// per graph update and per query and where allocation is the dominant
+// host-side cost (ROADMAP item 1). Inside a hot-path function it flags the
+// allocation shapes that escape to the heap:
+//
+//   - any call into package fmt (Sprintf/Errorf allocate even on the
+//     non-error path; hoist package-level errors or outline a cold helper)
+//   - append to a local slice that was not capacity-provisioned (3-arg
+//     make) — growth reallocates per message instead of amortizing
+//   - []byte(string) conversions, which copy
+//   - function literals capturing enclosing locals — the capture forces
+//     the captured variables (and often the closure) to the heap
+//
+// Appends to struct fields, parameters, and reslices are exempt: those
+// buffers are owned by the caller or reused across calls, which is
+// exactly the pattern the discipline wants.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "escaping allocation in a //lint:hotpath function",
+	Run:  runHotPathAlloc,
+}
+
+const hotpathDirective = "lint:hotpath"
+
+func runHotPathAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(pass, info, fd)
+		}
+	}
+}
+
+// isHotPath reports whether the declaration's doc comment carries the
+// hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	params := make(map[types.Object]bool)
+	collectFieldObjects(info, params, fd.Recv)
+	if fd.Type.Params != nil {
+		collectFieldObjects(info, params, fd.Type.Params)
+	}
+	if fd.Type.Results != nil {
+		collectFieldObjects(info, params, fd.Type.Results)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, fd, params, n)
+		case *ast.FuncLit:
+			if captured := closureCaptures(info, fd, n); len(captured) > 0 {
+				pass.Reportf(n.Pos(), "closure captures %s; the capture forces them to the heap — pass values as arguments or outline the literal",
+					strings.Join(captured, ", "))
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, fd *ast.FuncDecl, params map[types.Object]bool, call *ast.CallExpr) {
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates on the hot path; hoist a package-level error or outline a cold helper", fn.Name())
+			return
+		}
+	}
+	// []byte(string) conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if slice, ok := tv.Type.Underlying().(*types.Slice); ok {
+			if elem, ok := slice.Elem().Underlying().(*types.Basic); ok && elem.Kind() == types.Byte {
+				if atv, ok := info.Types[call.Args[0]]; ok {
+					if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(call.Pos(), "[]byte(string) conversion copies on the hot path; keep the data as []byte end to end")
+						return
+					}
+				}
+			}
+		}
+	}
+	// Un-capped append.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			checkHotAppend(pass, info, fd, params, call)
+		}
+	}
+}
+
+// checkHotAppend flags appends whose base slice cannot have been
+// capacity-provisioned: a composite literal, or a local declared without a
+// 3-arg make. Field selectors, parameters and reslices are caller-owned or
+// reused buffers and pass.
+func checkHotAppend(pass *Pass, info *types.Info, fd *ast.FuncDecl, params map[types.Object]bool, call *ast.CallExpr) {
+	base := ast.Unparen(call.Args[0])
+	switch base := base.(type) {
+	case *ast.CompositeLit:
+		pass.Reportf(call.Pos(), "append to a fresh composite literal allocates per call; reuse a caller-owned buffer")
+	case *ast.SelectorExpr:
+		// Field or package-level buffer: owned elsewhere, assumed reused.
+	case *ast.Ident:
+		obj := info.Uses[base]
+		if obj == nil || params[obj] {
+			return
+		}
+		def := definingExpr(info, fd.Body, obj)
+		if def == nil {
+			return // unknown provenance; stay quiet rather than guess
+		}
+		switch def := def.(type) {
+		case *ast.SliceExpr:
+			return // reslice of an existing buffer (buf[:0] reuse idiom)
+		case *ast.CallExpr:
+			if id, ok := def.Fun.(*ast.Ident); ok && id.Name == "make" && len(def.Args) == 3 {
+				return // capacity-provisioned
+			}
+		}
+		pass.Reportf(call.Pos(), "append to %s, declared without capacity; pre-size it with a 3-arg make or reuse a caller-owned buffer", base.Name)
+	}
+}
+
+// definingExpr finds the expression obj was declared from (`x := expr` or
+// `var x = expr`) within body, or nil.
+func definingExpr(info *types.Info, body *ast.BlockStmt, obj types.Object) ast.Expr {
+	var out ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[id] != obj {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					out = ast.Unparen(n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if info.Defs[name] == obj && i < len(n.Values) {
+					out = ast.Unparen(n.Values[i])
+				}
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+// closureCaptures lists names the literal references that are declared in
+// the enclosing function but outside the literal.
+func closureCaptures(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		pos := obj.Pos()
+		if pos >= fd.Pos() && pos < lit.Pos() && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// collectFieldObjects adds the objects declared by a field list (receiver,
+// params, named results) to the set.
+func collectFieldObjects(info *types.Info, set map[types.Object]bool, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				set[obj] = true
+			}
+		}
+	}
+}

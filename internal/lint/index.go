@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Index is the module-wide, cross-package view the type-checked analyzers
+// share: every function declaration's body keyed by its object, a static
+// call graph over those declarations, and the set of functions that invoke
+// a faultpoint hook. It generalizes the per-package declBodies map so a
+// call like `srv.Handle(m, store.ingest)` or `writeRun(...)` can be
+// resolved to a body defined in another package of the same module.
+type Index struct {
+	// Bodies maps each function or method declaration to its body.
+	Bodies map[types.Object]*ast.BlockStmt
+	// Callers maps a declaration to the set of module declarations whose
+	// bodies (including nested function literals) call it.
+	Callers map[types.Object]map[types.Object]bool
+	// hooked marks declarations whose body lexically contains a call into
+	// a package named "faultpoint" (Inject, Dropped, Delay, ...).
+	hooked map[types.Object]bool
+}
+
+// BuildIndex constructs the module index over the loaded packages. It is
+// resilient to partial type information: unresolvable calls simply do not
+// contribute edges.
+func BuildIndex(pkgs []*Package) *Index {
+	idx := &Index{
+		Bodies:  make(map[types.Object]*ast.BlockStmt),
+		Callers: make(map[types.Object]map[types.Object]bool),
+		hooked:  make(map[types.Object]bool),
+	}
+	type declBody struct {
+		pkg  *Package
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var decls []declBody
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				idx.Bodies[obj] = fd.Body
+				decls = append(decls, declBody{pkg: pkg, obj: obj, body: fd.Body})
+			}
+		}
+	}
+	for _, d := range decls {
+		// go-spawned calls do not create coverage edges: a faultpoint hook
+		// executed by the spawner before `go f()` does not wrap the I/O the
+		// goroutine performs later, so f must be hooked in its own right.
+		spawned := make(map[*ast.CallExpr]bool)
+		ast.Inspect(d.body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				spawned[g.Call] = true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(d.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Name() == "faultpoint" {
+				idx.hooked[d.obj] = true
+			}
+			if _, inModule := idx.Bodies[callee]; inModule && !spawned[call] {
+				set := idx.Callers[callee]
+				if set == nil {
+					set = make(map[types.Object]bool)
+					idx.Callers[callee] = set
+				}
+				set[d.obj] = true
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// calleeObject resolves the object a call expression invokes: a plain
+// function, a method, or nil for indirect calls, builtins and conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// HookCovered reports whether every path into fn passes a faultpoint hook:
+// fn's own body contains one, or fn has at least one in-module caller and
+// every caller is itself covered. The fixpoint makes wrappers transparent —
+// writeFrame is covered because both of its callers hook the write — while
+// a single hook-free entry path (a new caller added without instrumentation)
+// breaks coverage for the whole chain.
+func (idx *Index) HookCovered(fn types.Object) bool {
+	return idx.covered(fn, make(map[types.Object]bool))
+}
+
+func (idx *Index) covered(fn types.Object, visiting map[types.Object]bool) bool {
+	if idx.hooked[fn] {
+		return true
+	}
+	if visiting[fn] {
+		// Recursive cycle with no hook anywhere on it: treat the cycle as
+		// covered only through some hooked entry point, which the other
+		// callers establish (or fail to).
+		return true
+	}
+	callers := idx.Callers[fn]
+	if len(callers) == 0 {
+		return false
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	for caller := range callers {
+		if !idx.covered(caller, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// UncoveredCallers returns the in-module callers of fn that are not hook
+// covered, for finding messages that name the missing instrumentation
+// path. Results are unordered; callers sort for determinism.
+func (idx *Index) UncoveredCallers(fn types.Object) []types.Object {
+	var out []types.Object
+	for caller := range idx.Callers[fn] {
+		if !idx.HookCovered(caller) {
+			out = append(out, caller)
+		}
+	}
+	return out
+}

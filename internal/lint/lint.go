@@ -7,11 +7,14 @@
 //
 // Findings can be suppressed per line with a justification comment:
 //
-//	//lint:allow <analyzer> <why this is intentional>
+//	//lint:allow <analyzer> reason=<why this is intentional>
 //
-// placed on the offending line or the line directly above it. The driver
-// (cmd/helios-lint) runs every analyzer over every package of the module
-// and exits non-zero when any unsuppressed finding remains.
+// placed on the offending line or the line directly above it. The reason=
+// clause is mandatory, and the engine reports stale allows — comments whose
+// analyzer no longer fires on their line — so dead exemptions cannot
+// accumulate. The driver (cmd/helios-lint) runs every analyzer over every
+// package of the module and exits non-zero when any unsuppressed finding
+// remains.
 package lint
 
 import (
@@ -50,6 +53,11 @@ type Options struct {
 	// BlockingPkgs lists import-path substrings whose calls block on I/O or
 	// queues: lockacrossblock flags calls into them while a mutex is held.
 	BlockingPkgs []string
+	// FaultpointPkgs lists import-path substrings of packages whose
+	// file/network I/O boundaries must be reachable only through faultpoint
+	// hooks: faultcover flags raw I/O sites there whose enclosing function
+	// is not hook-covered.
+	FaultpointPkgs []string
 }
 
 // DefaultOptions returns the repository configuration: the broker and RPC
@@ -71,6 +79,11 @@ func DefaultOptions() *Options {
 			"helios/internal/mq",
 			"helios/internal/rpc",
 		},
+		FaultpointPkgs: []string{
+			"helios/internal/rpc",
+			"helios/internal/mq",
+			"helios/internal/kvstore",
+		},
 	}
 }
 
@@ -90,6 +103,10 @@ type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
 	Opts *Options
+	// Index is the module-wide call graph shared by all passes of one Run,
+	// letting analyzers resolve calls into sibling packages (faultcover
+	// coverage, deadlinepass handler resolution).
+	Index *Index
 
 	analyzer   *Analyzer
 	findings   *[]Finding
@@ -122,6 +139,10 @@ func Analyzers() []*Analyzer {
 		Walltime,
 		GoroutineStop,
 		BoundedWait,
+		DeadlinePass,
+		FaultCover,
+		MetricLabel,
+		HotPathAlloc,
 	}
 }
 
@@ -143,6 +164,11 @@ func Select(enable, disable []string) ([]*Analyzer, error) {
 	for _, name := range disable {
 		drop[name] = true
 	}
+	for _, name := range enable {
+		if drop[name] {
+			return nil, fmt.Errorf("lint: analyzer %q both enabled and disabled", name)
+		}
+	}
 	keep := make(map[string]bool, len(enable))
 	for _, name := range enable {
 		keep[name] = true
@@ -161,19 +187,32 @@ func Select(enable, disable []string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages and returns a deterministic,
-// position-sorted report.
+// position-sorted report. After the analyzers finish it appends allowlist
+// hygiene findings (analyzer name "allow"): comments missing the mandatory
+// reason= clause, comments naming an unknown analyzer, and stale comments
+// that suppressed nothing this run. Hygiene findings are not themselves
+// suppressible.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts *Options) Report {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
+	index := BuildIndex(pkgs)
 	findings := []Finding{} // non-nil so the JSON report always has an array
 	suppressed := 0
+	for _, pkg := range pkgs {
+		if pkg.allows != nil {
+			for _, e := range pkg.allows.entries {
+				e.hits = 0 // staleness is judged per run
+			}
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Fset:       fset,
 				Pkg:        pkg,
 				Opts:       opts,
+				Index:      index,
 				analyzer:   a,
 				findings:   &findings,
 				suppressed: &suppressed,
@@ -181,6 +220,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts *Opti
 			a.Run(pass)
 		}
 	}
+	findings = append(findings, allowHygiene(fset, pkgs, analyzers)...)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {

@@ -42,6 +42,139 @@ func TestSelect(t *testing.T) {
 	if _, err := Select([]string{"nosuchanalyzer"}, nil); err == nil {
 		t.Fatalf("Select with unknown analyzer name did not error")
 	}
+	if _, err := Select(nil, []string{"nosuchanalyzer"}); err == nil {
+		t.Fatalf("Select with unknown disabled analyzer did not error")
+	}
+
+	// Duplicate enable entries are harmless and must not duplicate output.
+	dup, err := Select([]string{"walltime", "walltime"}, nil)
+	if err != nil {
+		t.Fatalf("Select(duplicate enable): %v", err)
+	}
+	if len(dup) != 1 || dup[0].Name != "walltime" {
+		t.Fatalf("Select(duplicate enable) = %v, want exactly [walltime]", dup)
+	}
+
+	// A name in both lists is a config contradiction, not a silent disable.
+	if _, err := Select([]string{"walltime"}, []string{"walltime"}); err == nil {
+		t.Fatalf("Select with walltime both enabled and disabled did not error")
+	} else if !strings.Contains(err.Error(), "both enabled and disabled") {
+		t.Fatalf("enable∩disable error = %q, want it to name the contradiction", err)
+	}
+}
+
+// TestFindingString pins the file:line:col [analyzer] rendering that the
+// CLI prints and CI logs are grepped by.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "deadlinepass",
+		File:     "internal/graphdb/dist.go",
+		Line:     212,
+		Col:      60,
+		Message:  "loop-invariant Call timeout",
+	}
+	want := "internal/graphdb/dist.go:212:60: [deadlinepass] loop-invariant Call timeout"
+	if got := f.String(); got != want {
+		t.Fatalf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestAllowHygiene builds a temp module carrying one of each allowlist
+// defect — missing reason, unknown analyzer, stale allow — plus one
+// healthy suppression, and checks the hygiene findings the run appends.
+func TestAllowHygiene(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func healthy() {
+	//lint:allow droppederror reason=demo: suppressed on purpose
+	_ = fail()
+}
+
+func noReason() {
+	//lint:allow droppederror suppressed without the mandatory clause
+	_ = fail()
+}
+
+func unknownName() {
+	//lint:allow nosuchanalyzer reason=the analyzer was renamed away
+	_ = fail()
+}
+
+func stale() {
+	//lint:allow droppederror reason=nothing on the next line drops an error
+	fail()
+}
+
+func main() { healthy(); noReason(); unknownName(); stale() }
+`)
+
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	rep := Run(fset, pkgs, Analyzers(), DefaultOptions())
+
+	byMessage := func(sub string) *Finding {
+		for i := range rep.Findings {
+			if rep.Findings[i].Analyzer == "allow" && strings.Contains(rep.Findings[i].Message, sub) {
+				return &rep.Findings[i]
+			}
+		}
+		return nil
+	}
+	if f := byMessage("needs a reason= clause"); f == nil {
+		t.Errorf("missing-reason allow not reported: %v", rep.Findings)
+	} else if f.Line != 13 {
+		t.Errorf("missing-reason finding at line %d, want 13 (the comment line)", f.Line)
+	}
+	if f := byMessage("unknown analyzer"); f == nil {
+		t.Errorf("unknown-analyzer allow not reported: %v", rep.Findings)
+	}
+	if f := byMessage("stale lint:allow"); f == nil {
+		t.Errorf("stale allow not reported: %v", rep.Findings)
+	} else if f.Line != 23 {
+		t.Errorf("stale finding at line %d, want 23 (the comment line)", f.Line)
+	}
+	// The noReason comment still suppresses (hygiene and suppression are
+	// orthogonal), so the only droppederror finding that leaks through is
+	// unknownName's — its allow names an analyzer that does not exist.
+	var dropped int
+	for _, f := range rep.Findings {
+		if f.Analyzer == "droppederror" {
+			dropped++
+		}
+	}
+	if dropped != 1 {
+		t.Errorf("%d droppederror findings, want 1 (only unknownName's)", dropped)
+	}
+	if rep.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2 (healthy and noReason)", rep.Suppressed)
+	}
+
+	// Hygiene findings must not be suppressible: a disable run still
+	// reports the structural defects but no longer judges staleness for
+	// the disabled analyzer.
+	some, err := Select(nil, []string{"droppederror"})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	rep2 := Run(fset, pkgs, some, DefaultOptions())
+	var stale2 bool
+	for _, f := range rep2.Findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "stale lint:allow") {
+			stale2 = true
+		}
+	}
+	if stale2 {
+		t.Errorf("stale reported for a disabled analyzer: %v", rep2.Findings)
+	}
 }
 
 // TestRunReportJSONShape builds a synthetic module in a temp dir, runs the

@@ -32,7 +32,7 @@ type Package struct {
 	// load because most analyzers degrade to syntactic checks.
 	TypeErrors []error
 
-	allows allowIndex
+	allows *allowIndex
 }
 
 // stdImporter type-checks standard-library packages from $GOROOT/src. The
@@ -330,7 +330,7 @@ func typeCheck(fset *token.FileSet, p *Package, imp types.Importer) {
 		Importer: imp,
 		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
-	//lint:allow droppederror soft type errors are collected through conf.Error above; analysis proceeds best-effort on partial info
+	//lint:allow droppederror reason=soft type errors are collected through conf.Error above; analysis proceeds best-effort on partial info
 	pkg, _ := conf.Check(p.PkgPath, fset, p.Files, info)
 	p.Types = pkg
 	p.Info = info

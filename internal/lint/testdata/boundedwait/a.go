@@ -40,6 +40,6 @@ func use(c *Client, g *gauge, budget time.Duration) {
 	c.Call("m", nil, time.Second)               // bounded: fine
 	c.Call("m", nil, budget)                    // not provably zero: fine
 	g.Call("m", nil, 0)                         // not a Client: fine
-	//lint:allow boundedwait fixture: this probe intentionally waits forever
+	//lint:allow boundedwait reason=fixture: this probe intentionally waits forever
 	c.Call("m", nil, 0)
 }

@@ -38,6 +38,6 @@ func okHandled() error {
 }
 
 func allowed() {
-	//lint:allow droppederror fixture: error intentionally dropped
+	//lint:allow droppederror reason=fixture: error intentionally dropped
 	_ = mayFail()
 }

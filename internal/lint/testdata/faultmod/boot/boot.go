@@ -1,0 +1,24 @@
+// Package boot exercises the cross-package half of faultcover: hooks and
+// hook-free callers in one package determine coverage of I/O helpers in
+// another.
+package boot
+
+import (
+	"faultmod/faultpoint"
+	"faultmod/store"
+)
+
+// Restore hooks the recovery boundary, then reads through the store
+// helper: LoadIndex inherits coverage across the package boundary.
+func Restore(path string) ([]byte, error) {
+	if err := faultpoint.Inject("boot.restore"); err != nil {
+		return nil, err
+	}
+	return store.LoadIndex(path)
+}
+
+// Load calls the uncovered reader without a hook, so it shows up among
+// ReadState's uncovered callers.
+func Load(path string) ([]byte, error) {
+	return store.ReadState(path)
+}

@@ -1,0 +1,6 @@
+// Package faultpoint mimics helios/internal/faultpoint: the analyzer keys
+// on the package name, so the fixture only needs the call shape.
+package faultpoint
+
+// Inject returns the armed fault for name, if any.
+func Inject(name string) error { return nil }

@@ -1,0 +1,3 @@
+module faultmod
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package store exercises faultcover's cross-package coverage fixpoint:
+// raw I/O is fine when every path into it passes a faultpoint hook, and
+// flagged when any entry path (including goroutine spawns, which never
+// inherit coverage) is hook-free.
+package store
+
+import (
+	"os"
+
+	"faultmod/faultpoint"
+)
+
+// WriteState hooks its own write boundary: covered directly.
+func WriteState(path string, data []byte) error {
+	if err := faultpoint.Inject("store.write"); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadState performs raw I/O with no hook and no callers: uncovered.
+func ReadState(path string) ([]byte, error) {
+	return os.ReadFile(path) // want faultcover
+}
+
+// LoadIndex inherits coverage across the package boundary: its only
+// caller, boot.Restore, hooks the recovery read.
+func LoadIndex(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// persist is a helper whose every caller hooks the boundary: it inherits
+// coverage from Flush and Compact.
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Flush hooks, then persists.
+func Flush(path string, data []byte) error {
+	if err := faultpoint.Inject("store.flush"); err != nil {
+		return err
+	}
+	return persist(path, data)
+}
+
+// Compact hooks, then persists.
+func Compact(path string, data []byte) error {
+	if err := faultpoint.Inject("store.compact"); err != nil {
+		return err
+	}
+	return persist(path, data)
+}
+
+// save has one hooked caller and one hook-free caller: the hook-free
+// entry path breaks coverage for the helper.
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want faultcover
+}
+
+// SaveHooked is the instrumented entry.
+func SaveHooked(path string, data []byte) error {
+	if err := faultpoint.Inject("store.save"); err != nil {
+		return err
+	}
+	return save(path, data)
+}
+
+// SaveUnhooked is the uninstrumented entry that breaks save's coverage.
+func SaveUnhooked(path string, data []byte) error {
+	return save(path, data)
+}
+
+// Spawn hooks before spawning, but the goroutine's I/O runs after the
+// hook's window: coverage does not flow through `go`.
+func Spawn(path string) {
+	if err := faultpoint.Inject("store.spawn"); err != nil {
+		return
+	}
+	go flush(path)
+}
+
+func flush(path string) {
+	os.WriteFile(path, nil, 0o644) // want faultcover
+}
+
+// Probe is the suppressed case.
+func Probe(path string) bool {
+	//lint:allow faultcover reason=fixture: existence probe is outside the recovery story
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}

@@ -88,7 +88,7 @@ func (w *W) bounded(n int) {
 }
 
 func (w *W) allowed() {
-	//lint:allow goroutinestop fixture: documented leak
+	//lint:allow goroutinestop reason=fixture: documented leak
 	go func() {
 		for {
 			process()

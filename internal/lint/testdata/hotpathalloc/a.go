@@ -1,0 +1,97 @@
+// Package hotpathalloc exercises the hot-path allocation analyzer: only
+// functions carrying the //lint:hotpath directive are checked.
+package hotpathalloc
+
+import "fmt"
+
+// formatID allocates via fmt on the hot path.
+//
+//lint:hotpath
+func formatID(id uint64) string {
+	return fmt.Sprintf("v%d", id) // want hotpathalloc
+}
+
+// formatCold is the same body without the directive: not checked.
+func formatCold(id uint64) string {
+	return fmt.Sprintf("v%d", id)
+}
+
+// growUncapped appends to locals declared without capacity.
+//
+//lint:hotpath
+func growUncapped(n int) []int {
+	out := []int{}
+	small := make([]int, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, i)     // want hotpathalloc
+		small = append(small, i) // want hotpathalloc
+	}
+	if len(small) > len(out) {
+		return small
+	}
+	return out
+}
+
+// growCapped pre-sizes, reuses and reslices: every append base is owned.
+//
+//lint:hotpath
+func growCapped(n int, dst []int) []int {
+	sized := make([]int, 0, n)
+	recycled := dst[:0]
+	for i := 0; i < n; i++ {
+		sized = append(sized, i)
+		recycled = append(recycled, i)
+		dst = append(dst, i)
+	}
+	return append(sized, recycled...)
+}
+
+type buffered struct{ buf []byte }
+
+// appendField grows a struct-owned buffer, which amortizes across calls.
+//
+//lint:hotpath
+func (b *buffered) appendField(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+// freshLiteral seeds an append with a throwaway composite literal.
+//
+//lint:hotpath
+func freshLiteral(xs []int) []int {
+	return append([]int{}, xs...) // want hotpathalloc
+}
+
+// copyKey converts a string key to bytes, copying it.
+//
+//lint:hotpath
+func copyKey(key string, m map[string][]byte) []byte {
+	raw := []byte(key) // want hotpathalloc
+	return m[string(raw)]
+}
+
+// deferredSend returns a closure capturing enclosing state, which forces
+// the captured variables to the heap.
+//
+//lint:hotpath
+func deferredSend(ch chan int, v int) func() {
+	return func() { ch <- v } // want hotpathalloc
+}
+
+// applyAll takes the callback as an argument instead of closing over
+// state: nothing escapes.
+//
+//lint:hotpath
+func applyAll(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+// traceAllowed is the suppressed case.
+//
+//lint:hotpath
+func traceAllowed(id uint64) string {
+	//lint:allow hotpathalloc reason=fixture: trace formatting runs only when tracing is armed
+	return fmt.Sprintf("trace-%d", id)
+}

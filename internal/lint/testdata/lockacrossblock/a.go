@@ -55,6 +55,6 @@ func (s *S) sendBeforeLock() {
 func (s *S) allowed() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	//lint:allow lockacrossblock fixture: suppression is intentional here
+	//lint:allow lockacrossblock reason=fixture: suppression is intentional here
 	s.ch <- 1
 }

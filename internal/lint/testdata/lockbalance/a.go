@@ -53,7 +53,7 @@ func (t *T) leakyReturn(b bool) int {
 }
 
 func (t *T) allowedHandoff() {
-	//lint:allow lockbalance fixture: lock intentionally handed to the caller
+	//lint:allow lockbalance reason=fixture: lock intentionally handed to the caller
 	t.mu.Lock()
 }
 

@@ -30,6 +30,6 @@ func injected(now func() time.Time) int64 {
 }
 
 func allowed() time.Time {
-	//lint:allow walltime fixture: wall clock justified here
+	//lint:allow walltime reason=fixture: wall clock justified here
 	return time.Now()
 }

@@ -29,6 +29,11 @@ func segmentPath(dir, topic string, idx int) string {
 // openSegment replays any existing log into the partition and opens the
 // file for appends.
 func (p *partition) openSegment(dir string) error {
+	// Restart-replay boundary: a fault here models a segment that cannot
+	// be reopened after a crash (missing dir, unreadable log).
+	if err := faultpoint.Inject("mq.segment.open"); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("mq: create segment dir: %w", err)
 	}
@@ -97,6 +102,12 @@ func (s *segment) append(rec Record) error {
 }
 
 func (s *segment) close() error {
+	// Final-flush boundary: a fault here models losing the buffered tail
+	// of the log on shutdown.
+	if err := faultpoint.Inject("mq.segment.close"); err != nil {
+		s.f.Close()
+		return err
+	}
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
 		return err

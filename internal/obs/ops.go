@@ -31,12 +31,12 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			//lint:allow droppederror HTTP response write: the client hanging up mid-body is not actionable
+			//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable
 			_ = json.NewEncoder(w).Encode(snap)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		//lint:allow droppederror HTTP response write: the client hanging up mid-body is not actionable
+		//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable
 		_ = snap.WriteText(w)
 	})
 	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
@@ -59,11 +59,11 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		//lint:allow droppederror HTTP response write: the client hanging up mid-body is not actionable
+		//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable
 		_ = json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		//lint:allow droppederror HTTP response write: the client hanging up mid-body is not actionable
+		//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -91,7 +91,7 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 	// http.Server.Serve returns when Close tears the listener down; the
 	// goroutine cannot leak past Close.
 	go func() {
-		//lint:allow droppederror Serve always returns ErrServerClosed after Close; nothing to act on
+		//lint:allow droppederror reason=Serve always returns ErrServerClosed after Close; nothing to act on
 		_ = s.http.Serve(ln)
 	}()
 	return s, nil

@@ -352,16 +352,17 @@ func (s *Server) Close() error {
 // the caller's remaining deadline budget in nanoseconds (0 = no deadline),
 // carried only on requests; the receiver pins it to its own clock, and any
 // further hop is issued with the shrunken remainder.
+//lint:hotpath
 func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method string, payload []byte) error {
 	if len(method) > 0xffff {
-		return errors.New("rpc: method name too long")
+		return errMethodTooLong
 	}
 	if budget < 0 {
 		budget = 0
 	}
 	total := 1 + 8 + 8 + 8 + 2 + len(method) + len(payload)
 	if total > maxFrame {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", total)
+		return frameTooBig(total)
 	}
 	buf := make([]byte, 4+total)
 	binary.BigEndian.PutUint32(buf, uint32(total))
@@ -376,6 +377,7 @@ func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method st
 	return err
 }
 
+//lint:hotpath
 func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method string, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
@@ -383,7 +385,7 @@ func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method st
 	}
 	total := binary.BigEndian.Uint32(hdr[:])
 	if total < 27 || total > maxFrame {
-		err = fmt.Errorf("rpc: bad frame length %d", total)
+		err = badFrameLen(total)
 		return
 	}
 	buf := make([]byte, total)
@@ -399,13 +401,23 @@ func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method st
 	}
 	mlen := int(binary.BigEndian.Uint16(buf[25:]))
 	if 27+mlen > int(total) {
-		err = errors.New("rpc: bad method length")
+		err = errBadMethodLen
 		return
 	}
 	method = string(buf[27 : 27+mlen])
 	payload = buf[27+mlen:]
 	return
 }
+
+// Cold frame errors, hoisted/outlined so the hot frame functions do not
+// allocate on the success path (//lint:hotpath discipline).
+var (
+	errMethodTooLong = errors.New("rpc: method name too long")
+	errBadMethodLen  = errors.New("rpc: bad method length")
+)
+
+func frameTooBig(n int) error  { return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n) }
+func badFrameLen(n uint32) error { return fmt.Errorf("rpc: bad frame length %d", n) }
 
 // Options configures a client built by DialOpts. The zero value reproduces
 // Dial's behaviour (single connection, no retries).
@@ -626,7 +638,7 @@ func (c *Client) getConn() (net.Conn, uint64, error) {
 		c.gen++
 		gen := c.gen
 		c.connMu.Unlock()
-		//lint:allow goroutinestop readLoop exits when its connection closes: Close() and reconnection both tear down conn, which unblocks readFrame with an error
+		//lint:allow goroutinestop reason=readLoop exits when its connection closes: Close() and reconnection both tear down conn, which unblocks readFrame with an error
 		go c.readLoop(conn, gen)
 		return conn, gen, nil
 	}
@@ -655,6 +667,12 @@ func (c *Client) backoffLocked(failures int) time.Duration {
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
 		typ, id, _, _, _, payload, err := readFrame(conn)
+		if err == nil {
+			// Response-read boundary: lets chaos tests kill a connection
+			// between the server's write and the client's decode, which is
+			// the window the reconnect/retry path has to survive.
+			err = faultpoint.Inject("rpc.client.read")
+		}
 		if err != nil {
 			c.dropConn(conn, gen, err)
 			return

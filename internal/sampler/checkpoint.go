@@ -67,7 +67,6 @@ func (w *Worker) CheckpointFile(path string) error {
 		return err
 	}
 	if ferr := faultpoint.Inject("sampler.checkpoint.write"); ferr != nil {
-		//lint:allow droppederror injected crash: the torn half-write and dangling handle ARE the scenario under test
 		f.Write(data[:len(data)/2])
 		f.Close()
 		return ferr

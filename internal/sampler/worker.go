@@ -402,7 +402,7 @@ func (w *Worker) maybeCommit(c mq.Cursor, last *atomic.Int64) {
 	if !last.CompareAndSwap(prev, now) {
 		return
 	}
-	//lint:allow droppederror best-effort commit: failure only delays the broker's lag signal one interval
+	//lint:allow droppederror reason=best-effort commit: failure only delays the broker's lag signal one interval
 	_ = c.Commit()
 }
 
@@ -470,7 +470,7 @@ func (w *Worker) pollSubs(c mq.Cursor) bool {
 }
 
 func (w *Worker) handlePublish(_ int, m outMsg) {
-	//lint:allow droppederror best effort by design: a closed broker during shutdown drops the tail
+	//lint:allow droppederror reason=best effort by design: a closed broker during shutdown drops the tail
 	_, _ = m.topic.Append(m.partition, m.key, m.payload)
 }
 

@@ -312,7 +312,7 @@ func (w *Worker) registerMetrics() {
 	w.staleness = reg.Gauge("serving.staleness_ns", "worker", worker)
 	reg.GaugeFunc("serving.cache_bytes", w.CacheBytes, "worker", worker)
 	reg.GaugeFunc("serving.cache_entries", func() int64 {
-		//lint:allow droppederror scrape-time gauge: a store error reads as 0 entries
+		//lint:allow droppederror reason=scrape-time gauge: a store error reads as 0 entries
 		n, _ := w.db.Len()
 		return int64(n)
 	}, "worker", worker)
@@ -410,7 +410,7 @@ func (w *Worker) maybeCommit(c mq.Cursor) {
 	if !w.lastCommit.CompareAndSwap(last, now) {
 		return
 	}
-	//lint:allow droppederror best-effort commit: failure only delays the broker's lag signal one interval
+	//lint:allow droppederror reason=best-effort commit: failure only delays the broker's lag signal one interval
 	_ = c.Commit()
 }
 
@@ -482,7 +482,12 @@ func decodeFeature(buf []byte) (feat []float32, touch int64, err error) {
 	return feat, touch, r.Err()
 }
 
-// applyMessage is the data-updating pool handler.
+// applyMessage is the data-updating pool handler. It runs once per queue
+// message, which at paper scale is millions of times per second — the
+// hotpath discipline keeps the per-apply cost at the two unavoidable store
+// writes.
+//
+//lint:hotpath
 func (w *Worker) applyMessage(_ int, m wire.Message) {
 	now := w.cfg.Clock.Now().UnixNano()
 	switch m.Kind {
@@ -532,6 +537,10 @@ func (w *Worker) Submit(req Request) {
 	w.servePool.Send(uint64(req.Seed), req)
 }
 
+// handleRequest is the serving actor turn: one queued request, checked
+// against its deadline, assembled, traced, and answered.
+//
+//lint:hotpath
 func (w *Worker) handleRequest(_ int, req Request) {
 	start := w.cfg.Clock.Now()
 	if req.Deadline > 0 && start.UnixNano() >= req.Deadline {
@@ -551,7 +560,9 @@ func (w *Worker) handleRequest(_ int, req Request) {
 		if wait < 0 {
 			wait = 0
 		}
-		res.Stages = append([]obs.Span{{Name: "serving.queue_wait", Dur: wait}}, res.Stages...)
+		stages := make([]obs.Span, 0, len(res.Stages)+1)
+		stages = append(stages, obs.Span{Name: "serving.queue_wait", Dur: wait})
+		res.Stages = append(stages, res.Stages...)
 	}
 	if req.Trace != 0 && res != nil {
 		// Total covers queue wait + service so the spans always sum to at
@@ -568,6 +579,12 @@ func (w *Worker) handleRequest(_ int, req Request) {
 	if req.Resp != nil {
 		req.Resp <- Response{Result: res, Err: err, Latency: end.Sub(start)}
 	}
+}
+
+// unknownQuery is the outlined cold path for sample's plan lookup miss, so
+// the hot actor turn does not carry a fmt call.
+func unknownQuery(qid query.ID) error {
+	return fmt.Errorf("serving: unknown query %d", qid)
 }
 
 // Sample assembles the complete K-hop sampling result for seed from the
@@ -607,6 +624,8 @@ func (w *Worker) SampleDegraded(qid query.ID, seed graph.VertexID) (*Result, err
 // ns, 0 = none) is checked between hops and before the feature pass, so an
 // abandoned request stops mid-assembly instead of finishing all Π C_i
 // lookups.
+//
+//lint:hotpath
 func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64) (*Result, error) {
 	// Chaos hook: burst drills arm a delay here to slow the serve path
 	// without touching the cache (scripts/burst-smoke.sh, burst_test.go).
@@ -615,7 +634,7 @@ func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64) (*Res
 	}
 	plan, ok := w.plans[qid]
 	if !ok {
-		return nil, fmt.Errorf("serving: unknown query %d", qid)
+		return nil, unknownQuery(qid)
 	}
 	start := w.cfg.Clock.Now()
 	res := &Result{
@@ -752,7 +771,7 @@ func (w *Worker) CacheEntries() (int, error) { return w.db.Len() }
 // HasSample reports whether the cache holds a sample cell for (hop, v) —
 // introspection for tests and operations tooling.
 func (w *Worker) HasSample(hop query.HopID, v graph.VertexID) bool {
-	//lint:allow droppederror introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
+	//lint:allow droppederror reason=introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
 	ok, _ := w.db.Has(sampleKey(hop, v))
 	return ok
 }
@@ -772,7 +791,7 @@ func (w *Worker) CachedSamples(hop query.HopID, v graph.VertexID) []wire.SampleR
 
 // HasFeature reports whether the cache holds a feature for v.
 func (w *Worker) HasFeature(v graph.VertexID) bool {
-	//lint:allow droppederror introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
+	//lint:allow droppederror reason=introspection helper: a store error reads as "absent", which is the conservative answer for tests and ops probes
 	ok, _ := w.db.Has(featureKey(v))
 	return ok
 }

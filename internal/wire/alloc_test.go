@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"testing"
+
+	"helios/internal/codec"
+)
+
+func sampleMsg() Message {
+	return Message{
+		Kind:   KindSampleUpsert,
+		Hop:    7,
+		Vertex: 123456,
+		Samples: []SampleRef{
+			{Neighbor: 11, Ts: 100, Weight: 0.25},
+			{Neighbor: 22, Ts: 200, Weight: 0.5},
+			{Neighbor: 33, Ts: 300, Weight: 0.75},
+		},
+		Ingested: 42,
+		Trace:    9,
+	}
+}
+
+func featureMsg() Message {
+	return Message{
+		Kind:     KindFeatureUpdate,
+		Vertex:   99,
+		Feature:  []float32{1, 2, 3, 4, 5, 6, 7, 8},
+		Ingested: 43,
+	}
+}
+
+// TestRoundTripZeroAlloc is the runtime twin of the hotpathalloc lint
+// pass for the wire layer: Append into a reused Writer and DecodeInto
+// into a reused Message must reach zero steady-state allocations once
+// the Message's slices have grown to the working-set size. It pins the
+// whole producer→consumer hot loop — a sampling worker encoding cache
+// messages and a serving worker applying them — not just the codec
+// primitives underneath.
+func TestRoundTripZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	in := []Message{sampleMsg(), featureMsg(), {Kind: KindSubDelta, Hop: 1, Vertex: 2, SEW: 3, Delta: -1}}
+	w := codec.NewWriter(256)
+	var out Message
+	// Warm-up decode grows out's Samples/Feature to the working set.
+	for i := range in {
+		w.Reset()
+		Append(w, &in[i])
+		if err := DecodeInto(w.Bytes(), &out); err != nil {
+			t.Fatalf("warm-up decode %v: %v", in[i].Kind, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range in {
+			w.Reset()
+			Append(w, &in[i])
+			if err := DecodeInto(w.Bytes(), &out); err != nil {
+				t.Fatalf("decode %v: %v", in[i].Kind, err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("wire round-trip reuse path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecodeIntoMatchesDecode checks the reuse decoder against the
+// allocating one across every kind, including state reset between
+// records of different kinds.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	msgs := []Message{
+		sampleMsg(),
+		featureMsg(),
+		{Kind: KindSubDelta, Hop: 1, Vertex: 2, SEW: 3, Delta: -1, Ingested: 5},
+		{Kind: KindFeatSubDelta, Hop: 4, Vertex: 8, SEW: 1, Delta: 1},
+		{Kind: KindSampleEvict, Hop: 2, Vertex: 10, Ingested: 6, Trace: 1},
+		{Kind: KindFeatureEvict, Vertex: 11},
+	}
+	var reused Message
+	for _, m := range msgs {
+		buf := Encode(&m)
+		want, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m.Kind, err)
+		}
+		if err := DecodeInto(buf, &reused); err != nil {
+			t.Fatalf("DecodeInto(%v): %v", m.Kind, err)
+		}
+		if reused.Kind != want.Kind || reused.Hop != want.Hop || reused.Vertex != want.Vertex ||
+			reused.SEW != want.SEW || reused.Delta != want.Delta ||
+			reused.Ingested != want.Ingested || reused.Trace != want.Trace {
+			t.Fatalf("DecodeInto(%v) header = %+v, want %+v", m.Kind, reused, want)
+		}
+		if len(reused.Samples) != len(want.Samples) {
+			t.Fatalf("DecodeInto(%v) %d samples, want %d", m.Kind, len(reused.Samples), len(want.Samples))
+		}
+		for i := range want.Samples {
+			if reused.Samples[i] != want.Samples[i] {
+				t.Fatalf("DecodeInto(%v) sample %d = %+v, want %+v", m.Kind, i, reused.Samples[i], want.Samples[i])
+			}
+		}
+		if len(reused.Feature) != len(want.Feature) {
+			t.Fatalf("DecodeInto(%v) %d feature dims, want %d", m.Kind, len(reused.Feature), len(want.Feature))
+		}
+		for i := range want.Feature {
+			if reused.Feature[i] != want.Feature[i] {
+				t.Fatalf("DecodeInto(%v) feature[%d] = %v, want %v", m.Kind, i, reused.Feature[i], want.Feature[i])
+			}
+		}
+	}
+
+	// Errors must come through unchanged, and unknown kinds must fail.
+	if err := DecodeInto(nil, &reused); err == nil {
+		t.Fatalf("DecodeInto(nil) did not error")
+	}
+	if err := DecodeInto([]byte{200, 1, 1, 2, 0}, &reused); err != errUnknownKind {
+		t.Fatalf("DecodeInto(unknown kind) = %v, want errUnknownKind", err)
+	}
+}
+
+// BenchmarkWireRoundTrip is the number behind BENCH_alloc.json's wire
+// gauge: encode + reuse-decode of a three-sample upsert.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	m := sampleMsg()
+	w := codec.NewWriter(256)
+	var out Message
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		Append(w, &m)
+		if err := DecodeInto(w.Bytes(), &out); err != nil {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# alloc-regression: regenerates the alloc-discipline snapshot with
+# `helios-bench alloc` and diffs its alloc.allocs_per_kop{case=...} gauges
+# against the committed BENCH_alloc.json. Any case whose allocation rate
+# rose above the committed baseline fails the gate; improvements are
+# reported so the snapshot can be re-committed. The helios-bench run
+# itself already exits non-zero if a must-be-zero reuse case allocates.
+# Run via `make alloc-regression` (part of `make check`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_alloc.json
+if [ ! -f "$baseline" ]; then
+  echo "alloc-regression: missing committed $baseline; run 'go run ./cmd/helios-bench alloc' and commit the snapshot" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+cleanup() { rm -rf "$tmpdir"; }
+trap cleanup EXIT
+
+go run ./cmd/helios-bench -metrics-json "$tmpdir/FRESH" alloc >"$tmpdir/out.log" 2>&1 || {
+  echo "alloc-regression: helios-bench alloc failed:" >&2
+  cat "$tmpdir/out.log" >&2
+  exit 1
+}
+fresh="$tmpdir/FRESH_alloc.json"
+
+# Extract 'case value' pairs for the alloc gauges from a snapshot.
+gauges() {
+  sed -n 's/^[[:space:]]*"alloc\.allocs_per_kop{case=\([a-z0-9_]*\)}": \([0-9]*\),*$/\1 \2/p' "$1"
+}
+
+gauges "$baseline" >"$tmpdir/base.txt"
+gauges "$fresh" >"$tmpdir/fresh.txt"
+if [ ! -s "$tmpdir/fresh.txt" ]; then
+  echo "alloc-regression: no alloc.allocs_per_kop gauges in fresh snapshot $fresh" >&2
+  exit 1
+fi
+
+fail=0
+while read -r name value; do
+  base=$(sed -n "s/^$name //p" "$tmpdir/base.txt")
+  if [ -z "$base" ]; then
+    echo "alloc-regression: NEW case $name = $value allocs/kop (no committed baseline; re-commit $baseline)"
+    continue
+  fi
+  if [ "$value" -gt "$base" ]; then
+    echo "alloc-regression: REGRESSION $name: $value allocs/kop, committed baseline $base" >&2
+    fail=1
+  elif [ "$value" -lt "$base" ]; then
+    echo "alloc-regression: improved $name: $value allocs/kop (baseline $base); consider re-committing $baseline"
+  else
+    echo "alloc-regression: ok $name: $value allocs/kop"
+  fi
+done <"$tmpdir/fresh.txt"
+
+# A case that disappeared from the fresh run means the experiment lost
+# coverage — that is a gate failure, not a cleanup.
+while read -r name _; do
+  if ! grep -q "^$name " "$tmpdir/fresh.txt"; then
+    echo "alloc-regression: case $name present in committed $baseline but missing from fresh run" >&2
+    fail=1
+  fi
+done <"$tmpdir/base.txt"
+
+exit "$fail"
