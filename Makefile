@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check obs-smoke chaos-smoke burst-smoke alloc-regression
+.PHONY: build vet lint test race check obs-smoke chaos-smoke burst-smoke alloc-regression perf-regression
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ burst-smoke:
 alloc-regression:
 	bash scripts/alloc-regression.sh
 
+# Re-measures per-stage p99 latency with `helios-bench latency` and diffs
+# the latency.stage_p99_ns gauges against the committed BENCH_latency.json
+# within a generous noise tolerance (see scripts/perf-regression.sh).
+perf-regression:
+	bash scripts/perf-regression.sh
+
 # The tier-1 gate: every PR must leave this green.
 check:
 	$(GO) build ./...
@@ -50,3 +56,4 @@ check:
 	$(GO) run ./cmd/helios-lint ./...
 	$(GO) test -race -count=1 ./...
 	bash scripts/alloc-regression.sh
+	bash scripts/perf-regression.sh

@@ -42,8 +42,16 @@ func main() {
 	netDelay := flag.Duration("net-delay", 0, "injected per-RPC delay for the baseline (models datacenter RTT)")
 	seed := flag.Int64("seed", 42, "random seed")
 	metricsOut := flag.String("metrics-json", "BENCH", "write a metrics-registry snapshot to <prefix>_<experiment>.json after each experiment (empty = off)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
+
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-bench: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(os.Stderr, "bench")
+	logger.SetLevel(lv)
 
 	// Overload aggregates (overload.shed, overload.degraded,
 	// overload.queue_wait_p99_ns) land in every BENCH snapshot so a run
@@ -121,6 +129,8 @@ func main() {
 			return func(c experiments.Config) error { _, err := f(c); return err }
 		case func(experiments.Config) ([]experiments.AllocPoint, error):
 			return func(c experiments.Config) error { _, err := f(c); return err }
+		case func(experiments.Config) ([]experiments.LatencyPoint, error):
+			return func(c experiments.Config) error { _, err := f(c); return err }
 		default:
 			panic("helios-bench: unhandled experiment signature")
 		}
@@ -144,6 +154,7 @@ func main() {
 		{"fig19", wrap(experiments.Fig19)},
 		{"raw", wrap(experiments.ReadAfterWrite)},
 		{"alloc", wrap(experiments.Alloc)},
+		{"latency", wrap(experiments.Latency)},
 	}
 
 	name := strings.ToLower(flag.Arg(0))
@@ -157,6 +168,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		logger.Info(0, "bench.run", "experiment completed",
+			"experiment", e.name, "elapsed_s", time.Since(start).Seconds())
 		if *metricsOut != "" {
 			path := fmt.Sprintf("%s_%s.json", *metricsOut, e.name)
 			if err := writeSnapshot(path, obs.Default().Snapshot()); err != nil {

@@ -31,9 +31,16 @@ func main() {
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "refuse appends to the updates topic once a partition's unconsumed backlog exceeds this (0 = unlimited)")
 	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.append=error:injected:3 (chaos drills)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-broker: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(os.Stderr, "broker")
+	logger.SetLevel(lv)
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-broker: %v", err)
 	}
@@ -58,16 +65,16 @@ func main() {
 	}
 	defer ops.Close()
 	if ops != nil {
-		log.Printf("helios-broker: ops on %s", ops.Addr())
+		logger.Info(0, "mq.lifecycle", "ops listener up", "addr", ops.Addr())
 	}
-	log.Printf("helios-broker: serving on %s (dir=%q retain=%d)", addr, *dir, *retain)
+	logger.Info(0, "mq.lifecycle", "broker serving", "addr", addr, "dir", *dir, "retain", *retain)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("helios-broker: shutting down")
+	logger.Info(0, "mq.lifecycle", "shutting down")
 	srv.Close()
 	if err := broker.Close(); err != nil {
-		log.Printf("helios-broker: close: %v", err)
+		logger.Error(0, "mq.lifecycle", "broker close failed", "err", err)
 	}
 }

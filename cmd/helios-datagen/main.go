@@ -26,9 +26,16 @@ func main() {
 	out := flag.String("out", "", "write length-framed update stream to this file")
 	stats := flag.Bool("stats", false, "print Table 1-style statistics")
 	seed := flag.Int64("seed", 0, "override the dataset's default seed (0 keeps it)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-datagen: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(nil, "datagen")
+	logger.SetLevel(lv)
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
 		log.Fatalf("helios-datagen: ops listener: %v", err)
@@ -86,6 +93,8 @@ func main() {
 			}
 		}
 	}
+	logger.Info(0, "workload.generate", "dataset generated",
+		"dataset", spec.Name, "scale", *scale, "updates", n)
 	fmt.Printf("dataset=%s scale=%g updates=%d\n", spec.Name, *scale, n)
 	if *stats {
 		d := gen.Degrees()

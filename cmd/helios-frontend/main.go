@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -39,8 +40,19 @@ func main() {
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "shed ingestion once a partition's updates backlog exceeds this (0 = config's overload.maxIngestLag, or unlimited)")
 	lagProbeEvery := flag.Duration("lag-probe-every", 250*time.Millisecond, "how often to refresh the cached per-partition ingest backlog")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.dial=error (chaos drills)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	slowLog := flag.Duration("slow-log", 0, "log traced samples slower than this with their worst stage (0 = the SLO target)")
+	sloTarget := flag.Duration("slo-target", 0, "sample-latency SLO target (0 = 250ms default)")
+	sloWindow := flag.Duration("slo-window", 0, "SLO burn-rate window (0 = 1m default)")
 	flag.Parse()
+
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-frontend: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(os.Stderr, "frontend")
+	logger.SetLevel(lv)
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-frontend: %v", err)
@@ -66,6 +78,10 @@ func main() {
 	defer fe.Close()
 	fe.SetProbeInterval(*probeEvery)
 	fe.UseObs(nil, obs.Default(), obs.DefaultTracer())
+	if *sloTarget > 0 || *sloWindow > 0 {
+		fe.SetSLO(*sloTarget, 0, *sloWindow)
+	}
+	fe.SetLogger(logger, *slowLog)
 	o := frontend.Overload{
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,

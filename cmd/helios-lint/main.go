@@ -42,10 +42,19 @@ func run() int {
 		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated analyzers to skip")
 		list    = flag.Bool("list", false, "print the available analyzers and exit")
-		dir     = flag.String("C", "", "module directory (default: walk up from cwd to go.mod)")
-		opsAddr = flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+		dir      = flag.String("C", "", "module directory (default: walk up from cwd to go.mod)")
+		opsAddr  = flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+		logLevel = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "helios-lint: unknown -log-level %q\n", *logLevel)
+		return 2
+	}
+	logger := obs.NewLogger(os.Stderr, "lint")
+	logger.SetLevel(lv)
 
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
@@ -95,6 +104,8 @@ func run() int {
 
 	report := lint.Run(fset, pkgs, analyzers, lint.DefaultOptions())
 	relativizeFiles(&report, root)
+	logger.Info(0, "lint.run", "analysis complete",
+		"packages", report.Packages, "findings", report.Count, "suppressed", report.Suppressed)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -30,11 +30,18 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
 	in := flag.String("in", "", "update stream file (required)")
 	rate := flag.Float64("rate", 0, "updates per second (0 = as fast as possible)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("helios-replay: -in is required")
 	}
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-replay: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(nil, "replay")
+	logger.SetLevel(lv)
 
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
@@ -121,6 +128,8 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
+	logger.Info(0, "frontend.ingest_append", "replay finished",
+		"sent", sent, "skipped", skipped, "elapsed_s", elapsed, "rate", float64(sent)/elapsed)
 	fmt.Printf("replayed %d updates (%d irrelevant skipped) in %.1fs (%.0f/s)\n",
 		sent, skipped, elapsed, float64(sent)/elapsed)
 }

@@ -38,9 +38,16 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.client.write=error (chaos drills)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-sampler: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(os.Stderr, "sampler")
+	logger.SetLevel(lv)
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-sampler: %v", err)
 	}
@@ -82,14 +89,14 @@ func main() {
 	}
 	if *checkpoint != "" {
 		if err := w.RestoreFile(*checkpoint); err == nil {
-			log.Printf("helios-sampler: restored checkpoint %s", *checkpoint)
+			logger.Info(0, "sampler.checkpoint", "restored checkpoint", "path", *checkpoint)
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("helios-sampler: restore: %v", err)
 		}
 	}
 	w.Start()
-	log.Printf("helios-sampler: worker %d/%d running (%d queries)",
-		*id, cfg.File.Samplers, len(cfg.Plans))
+	logger.Info(0, "sampler.lifecycle", "worker running",
+		"id", *id, "samplers", cfg.File.Samplers, "queries", len(cfg.Plans))
 
 	stopCkpt := make(chan struct{})
 	if *heartbeatEvery > 0 {
@@ -122,7 +129,7 @@ func main() {
 					return
 				case <-t.C:
 					if err := w.CheckpointFile(*checkpoint); err != nil {
-						log.Printf("helios-sampler: checkpoint: %v", err)
+						logger.Error(0, "sampler.checkpoint", "checkpoint failed", "path", *checkpoint, "err", err)
 					}
 				}
 			}

@@ -49,8 +49,17 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.fetch=error:injected:3 (chaos drills)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	slowLog := flag.Duration("slow-log", 100*time.Millisecond, "log traced serves slower than this with their worst stage (0 = off)")
 	flag.Parse()
+
+	lv, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("helios-server: unknown -log-level %q", *logLevel)
+	}
+	logger := obs.NewLogger(os.Stderr, "serving")
+	logger.SetLevel(lv)
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-server: %v", err)
@@ -80,6 +89,8 @@ func main() {
 		CommitEvery:   *commitEvery,
 		Metrics:       obs.Default(),
 		Tracer:        obs.DefaultTracer(),
+		Logger:        logger,
+		SlowLog:       *slowLog,
 	})
 	if err != nil {
 		log.Fatalf("helios-server: %v", err)

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/cluster"
+	"helios/internal/obs"
+	"helios/internal/query"
+	"helios/internal/sampling"
+	"helios/internal/serving"
+	"helios/internal/workload"
+)
+
+// LatencyPoint is one pipeline stage's tail summary from the latency
+// experiment: the per-stage p50/p99/p999 trajectory the perf-regression
+// gate tracks (Figs. 9–12 are latency claims; this is the per-stage
+// decomposition of ours).
+type LatencyPoint struct {
+	// Stage is the pipeline stage name (obs.Stage* constants plus the
+	// bench client's end-to-end view).
+	Stage string
+	// Count is how many observations the stage recorded during the run.
+	Count int64
+	// P50/P99/P999 are nanosecond latency quantile upper bounds.
+	P50, P99, P999 int64
+}
+
+// latencyStageE2E is the bench client's end-to-end serve latency, recorded
+// into the same stage family so the client view and the worker's stage
+// decomposition land in one table.
+const latencyStageE2E = "bench.e2e"
+
+// latencyConcurrency is the closed-loop client count for the measured
+// phase — modest on purpose: the gate tracks per-stage service tails, not
+// saturation behaviour (fig9 sweeps concurrency already).
+const latencyConcurrency = 8
+
+// Latency loads a Helios cluster, drives a traced closed-loop sampling
+// phase, and reports every populated stage histogram's p50/p99/p999.
+//
+// The cluster runs against a private registry so the stage tails reflect
+// only this run even under `helios-bench all`; the results are then
+// published into cfg.Metrics as flat gauges —
+//
+//	latency.stage_p50_ns{stage=<stage>}
+//	latency.stage_p99_ns{stage=<stage>}
+//	latency.stage_p999_ns{stage=<stage>}
+//	latency.stage_count{stage=<stage>}
+//
+// — which is the surface scripts/perf-regression.sh diffs against the
+// committed BENCH_latency.json.
+func Latency(cfg Config) ([]LatencyPoint, error) {
+	cfg = cfg.Defaults()
+	spec := workload.INTER().Scale(cfg.Scale)
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	q, err := gen.BuildQuery(sampling.TopK)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0, 0)
+	c, err := cluster.NewLocal(cluster.LocalConfig{
+		Samplers: cfg.Samplers,
+		Servers:  cfg.Servers,
+		Schema:   gen.Schema(),
+		Queries:  []query.Query{q},
+		Seed:     cfg.Seed,
+		Metrics:  reg,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	// The broker legs (mq.append / mq.fetch) join the stage family too.
+	c.Broker.RegisterMetrics(reg)
+
+	// Update path: stream the dataset in and wait for the subscription
+	// cascade to quiesce, populating mq.append/mq.fetch, sampler.refresh
+	// and serving.cache_apply.
+	if _, err := workload.ReplayAll(gen, c.Ingest); err != nil {
+		return nil, err
+	}
+	if err := c.WaitQuiesce(5 * time.Minute); err != nil {
+		return nil, err
+	}
+
+	// Query path: traced closed-loop sampling for the measured phase. Every
+	// request carries a distinct trace ID so each stage histogram ends the
+	// run holding exemplars.
+	stE2E := reg.Stage(latencyStageE2E)
+	var traceSeq atomic.Uint64
+	pick := seedPicker(gen, cfg.Seed)
+	st := workload.RunClosedLoop(latencyConcurrency, cfg.Duration, func(int) error {
+		trace := traceSeq.Add(1)
+		resp := make(chan serving.Response, 1)
+		start := time.Now()
+		c.Submit(serving.Request{Query: 0, Seed: pick(), Resp: resp, Trace: trace})
+		out := <-resp
+		stE2E.Observe(time.Since(start).Nanoseconds(), trace)
+		return out.Err
+	})
+	if st.Errors > 0 {
+		cfg.printf("latency: %d/%d requests errored\n", st.Errors, st.Requests)
+	}
+
+	points := stagePoints(reg.Snapshot())
+	cfg.printf("Latency: per-stage tails, %d traced requests (%.0f QPS)\n", st.Requests, st.QPS)
+	cfg.printf("%-28s %10s %10s %10s %10s\n", "stage", "count", "p50(ms)", "p99(ms)", "p999(ms)")
+	for _, p := range points {
+		cfg.printf("%-28s %10d %10.3f %10.3f %10.3f\n",
+			p.Stage, p.Count, ms(p.P50), ms(p.P99), ms(p.P999))
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("latency.stage_p50_ns", "stage", p.Stage).Set(p.P50)
+			cfg.Metrics.Gauge("latency.stage_p99_ns", "stage", p.Stage).Set(p.P99)
+			cfg.Metrics.Gauge("latency.stage_p999_ns", "stage", p.Stage).Set(p.P999)
+			cfg.Metrics.Gauge("latency.stage_count", "stage", p.Stage).Set(p.Count)
+		}
+	}
+	return points, nil
+}
+
+// stagePoints flattens a snapshot's stage histograms into sorted
+// LatencyPoints, keyed by the stage label. Families with extra labels
+// (none today) fold into their stage by keeping the larger-count entry.
+func stagePoints(snap obs.Snapshot) []LatencyPoint {
+	byStage := make(map[string]LatencyPoint)
+	for name, h := range snap.Stages {
+		if h.Count == 0 {
+			continue
+		}
+		_, labels := obs.ParseName(name)
+		stage := labels["stage"]
+		if stage == "" {
+			stage = name
+		}
+		if have, ok := byStage[stage]; ok && have.Count >= h.Count {
+			continue
+		}
+		byStage[stage] = LatencyPoint{Stage: stage, Count: h.Count, P50: h.P50, P99: h.P99, P999: h.P999}
+	}
+	points := make([]LatencyPoint, 0, len(byStage))
+	for _, p := range byStage {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Stage < points[j].Stage })
+	return points
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"helios/internal/obs"
+)
+
+func TestLatencyStageCoverage(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	cfg.Metrics = obs.NewRegistry()
+	points, err := Latency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStage := map[string]LatencyPoint{}
+	for _, p := range points {
+		byStage[p.Stage] = p
+		if p.Count <= 0 {
+			t.Fatalf("empty stage published: %+v", p)
+		}
+		if p.P50 > p.P99 || p.P99 > p.P999 {
+			t.Fatalf("quantiles not monotone: %+v", p)
+		}
+	}
+	// Both pipeline legs must be represented: the query path (khop,
+	// feature, queue wait, client e2e) and the update path (mq append,
+	// sampler refresh, cache apply).
+	for _, stage := range []string{
+		latencyStageE2E,
+		obs.StageServingKHop,
+		obs.StageServingFeature,
+		obs.StageServingQueueWait,
+		obs.StageServingCacheApply,
+		obs.StageMQAppend,
+		obs.StageSamplerRefresh,
+	} {
+		if _, ok := byStage[stage]; !ok {
+			t.Fatalf("stage %s missing from latency points: %v", stage, points)
+		}
+	}
+	// The e2e view bounds its serving sub-stages.
+	if e2e := byStage[latencyStageE2E]; e2e.P99 < byStage[obs.StageServingKHop].P50 {
+		t.Fatalf("e2e p99 %dns below khop p50 %dns",
+			e2e.P99, byStage[obs.StageServingKHop].P50)
+	}
+	// The regression surface: flat gauges land in cfg.Metrics under the
+	// stage label, one quartet per stage.
+	snap := cfg.Metrics.Snapshot()
+	for _, p := range points {
+		for _, g := range []string{"latency.stage_p50_ns", "latency.stage_p99_ns", "latency.stage_p999_ns", "latency.stage_count"} {
+			if _, ok := snap.Gauges[obs.Name(g, "stage", p.Stage)]; !ok {
+				t.Fatalf("gauge %s missing for stage %s", g, p.Stage)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "per-stage tails") {
+		t.Fatal("table not printed")
+	}
+}

@@ -70,6 +70,16 @@ type Frontend struct {
 	clk    clock.Clock
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	log    *obs.Logger
+	slowNS atomic.Int64 // slow-sample log threshold (0 = disabled)
+
+	// Per-stage latency histograms (trace exemplars ride on traced
+	// requests) and the frontend's rolling latency SLO.
+	stRequest   *obs.Histogram
+	stAdmission *obs.Histogram
+	stRPC       *obs.Histogram
+	stIngest    *obs.Histogram
+	slo         *obs.SLO
 
 	// Requests / Updates count routed traffic; Failovers counts replica
 	// calls abandoned for the next replica after a transport failure.
@@ -345,6 +355,18 @@ func (f *Frontend) UseObs(clk clock.Clock, reg *obs.Registry, tracer *obs.Tracer
 	}
 }
 
+// Default rolling latency objective the frontend registers: 99% of
+// samples complete within 250ms over a one-minute window. Deployments
+// with different targets call SetSLO.
+const (
+	defaultSLOTarget    = 250 * time.Millisecond
+	defaultSLOObjective = 0.99
+	defaultSLOWindow    = time.Minute
+)
+
+// sampleSLOName is the registered name of the frontend's latency SLO.
+const sampleSLOName = "frontend.sample_latency"
+
 func (f *Frontend) registerMetrics() {
 	f.reg.CounterFunc("frontend.requests", f.Requests.Value)
 	f.reg.CounterFunc("frontend.updates", f.Updates.Value)
@@ -353,8 +375,34 @@ func (f *Frontend) registerMetrics() {
 	f.reg.CounterFunc("frontend.ingest_shed", f.IngestShed.Value)
 	f.reg.GaugeFunc("frontend.unhealthy_replicas", f.unhealthyReplicas)
 	f.reg.GaugeFunc("frontend.ingest_lag", f.ingestLagMax)
+	f.stRequest = f.reg.Stage(obs.StageFrontendRequest).WithClock(f.clk)
+	f.stAdmission = f.reg.Stage(obs.StageFrontendAdmission).WithClock(f.clk)
+	f.stRPC = f.reg.Stage(obs.StageFrontendRPC).WithClock(f.clk)
+	f.stIngest = f.reg.Stage(obs.StageFrontendIngest).WithClock(f.clk)
+	f.slo = f.reg.SLO(sampleSLOName, defaultSLOTarget, defaultSLOObjective, defaultSLOWindow).WithClock(f.clk)
+	f.stRequest.AttachSLO(f.slo)
 	overload.RegisterMetrics(f.reg)
 	rpc.RegisterMetrics(f.reg)
+}
+
+// SetSLO replaces the frontend's sample-latency objective. Call before
+// serving traffic (the old rolling window is discarded).
+func (f *Frontend) SetSLO(target time.Duration, objective float64, window time.Duration) {
+	f.slo = obs.NewSLO(sampleSLOName, target, objective, window).WithClock(f.clk)
+	f.reg.ReplaceSLO(f.slo)
+	f.stRequest.AttachSLO(f.slo)
+}
+
+// SetLogger wires the frontend's structured logger: request errors and
+// sheds are logged at warn, and samples slower than slow (default: the
+// SLO target) at info — each line stamped with the request's trace ID so
+// it joins /metrics exemplars and /traces. A nil logger disables logging.
+func (f *Frontend) SetLogger(l *obs.Logger, slow time.Duration) {
+	f.log = l
+	if slow <= 0 {
+		slow = f.slo.Target
+	}
+	f.slowNS.Store(slow.Nanoseconds())
 }
 
 // Tracer returns the frontend's tracer (for tests and ops wiring).
@@ -411,7 +459,7 @@ func (f *Frontend) route(u graph.Update) error {
 	switch u.Kind {
 	case graph.UpdateVertex:
 		f.Updates.Inc()
-		return f.append(f.part.Of(u.Vertex.ID), uint64(u.Vertex.ID), payload)
+		return f.append(f.part.Of(u.Vertex.ID), uint64(u.Vertex.ID), payload, u.Trace)
 	case graph.UpdateEdge:
 		d, relevant := f.dirs[u.Edge.Type]
 		if !relevant {
@@ -421,13 +469,13 @@ func (f *Frontend) route(u graph.Update) error {
 		sent := -1
 		if d[0] {
 			sent = f.part.Of(u.Edge.Src)
-			if err := f.append(sent, uint64(u.Edge.Src), payload); err != nil {
+			if err := f.append(sent, uint64(u.Edge.Src), payload, u.Trace); err != nil {
 				return err
 			}
 		}
 		if d[1] {
 			if p := f.part.Of(u.Edge.Dst); p != sent {
-				if err := f.append(p, uint64(u.Edge.Src), payload); err != nil {
+				if err := f.append(p, uint64(u.Edge.Src), payload, u.Trace); err != nil {
 					return err
 				}
 			}
@@ -440,17 +488,24 @@ func (f *Frontend) route(u graph.Update) error {
 
 // append publishes one routed update, shedding first on the frontend's
 // cached lag signal and translating the broker's own backpressure refusal
-// into the same typed overload error.
-func (f *Frontend) append(p int, key uint64, payload []byte) error {
+// into the same typed overload error. The publish latency is observed
+// into the frontend.ingest_append stage against the update's trace.
+func (f *Frontend) append(p int, key uint64, payload []byte, trace uint64) error {
 	if err := f.admitIngest(p); err != nil {
+		f.log.Warn(trace, obs.StageFrontendIngest, "ingest shed", "partition", p, "err", err)
 		return err
 	}
-	if _, err := f.updates.Append(p, key, payload); err != nil {
+	start := f.clk.Now()
+	_, err := f.updates.Append(p, key, payload)
+	f.stIngest.Observe(f.clk.Now().Sub(start).Nanoseconds(), trace)
+	if err != nil {
 		if mq.IsBackpressure(err) {
 			f.IngestShed.Inc()
 			overload.CountShed()
+			f.log.Warn(trace, obs.StageFrontendIngest, "ingest shed", "partition", p, "err", err)
 			return overload.Shed("ingest", "broker_lag")
 		}
+		f.log.Error(trace, obs.StageFrontendIngest, "ingest append failed", "partition", p, "err", err)
 		return err
 	}
 	return nil
@@ -458,40 +513,50 @@ func (f *Frontend) append(p int, key uint64, payload []byte) error {
 
 // admitSample runs the request through the frontend limiter (when enabled)
 // and returns the request's absolute deadline (zero when no RequestTimeout
-// is set) plus the release function (never nil).
-func (f *Frontend) admitSample() (time.Time, func(), error) {
+// is set) plus the release function (never nil). The time spent queueing
+// for admission is observed into the frontend.admission stage against the
+// request's trace.
+func (f *Frontend) admitSample(trace uint64) (time.Time, func(), error) {
+	start := f.clk.Now()
 	var deadline time.Time
 	if f.reqTimeout > 0 {
-		deadline = f.clk.Now().Add(f.reqTimeout)
+		deadline = start.Add(f.reqTimeout)
 	}
 	if f.limiter == nil {
+		f.stAdmission.Observe(f.clk.Now().Sub(start).Nanoseconds(), trace)
 		return deadline, func() {}, nil
 	}
 	release, err := f.limiter.Acquire(deadline)
+	f.stAdmission.Observe(f.clk.Now().Sub(start).Nanoseconds(), trace)
 	if err != nil {
 		if overload.IsDeadline(err) {
 			f.DeadlineExceeded.Inc()
 		}
+		f.log.Warn(trace, obs.StageFrontendAdmission, "sample shed at admission", "err", err)
 		return deadline, nil, err
 	}
 	return deadline, release, nil
 }
 
 // Sample routes a sampling query to a healthy replica of the serving
-// partition owning the seed (untraced).
+// partition owning the seed (untraced). Untraced requests still feed the
+// frontend.request stage histogram and the latency SLO, so the burn rate
+// reflects all traffic, not just the traced fraction.
 func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
 	f.Requests.Inc()
-	deadline, release, err := f.admitSample()
+	deadline, release, err := f.admitSample(0)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	start := f.clk.Now()
 	var res *serving.Result
 	err = f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
 		var err error
 		res, err = c.SampleBudget(qid, seed, 0, budget)
 		return err
 	})
+	f.stRequest.Observe(f.clk.Now().Sub(start).Nanoseconds(), 0)
 	return res, err
 }
 
@@ -502,7 +567,7 @@ func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, e
 func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Result, uint64, error) {
 	f.Requests.Inc()
 	trace := f.tracer.NewID()
-	deadline, release, err := f.admitSample()
+	deadline, release, err := f.admitSample(trace)
 	if err != nil {
 		return nil, trace, err
 	}
@@ -515,7 +580,10 @@ func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Res
 		return err
 	})
 	total := f.clk.Now().Sub(start).Nanoseconds()
+	f.stRequest.Observe(total, trace)
 	if err != nil {
+		f.log.Warn(trace, obs.StageFrontendRequest, "sample failed",
+			"seed", uint64(seed), "total", time.Duration(total), "err", err)
 		return nil, trace, err
 	}
 	spans := make([]obs.Span, 0, len(res.Stages)+1)
@@ -525,11 +593,23 @@ func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Res
 		sum += s.Dur
 	}
 	if transport := total - sum; transport > 0 {
-		spans = append(spans, obs.Span{Name: "frontend.rpc_transport", Dur: transport})
+		spans = append(spans, obs.Span{Name: obs.StageFrontendRPC, Dur: transport})
+		f.stRPC.Observe(transport, trace)
 	}
 	f.tracer.Record(obs.Trace{
 		ID: trace, Op: "sample", Start: start.UnixNano(), Total: total, Spans: spans,
 	})
+	if slow := f.slowNS.Load(); slow > 0 && total >= slow && f.log.Enabled(obs.LevelInfo) {
+		worst := obs.Span{}
+		for _, s := range spans {
+			if s.Dur > worst.Dur {
+				worst = s
+			}
+		}
+		f.log.Info(trace, obs.StageFrontendRequest, "slow sample",
+			"seed", uint64(seed), "total", time.Duration(total),
+			"worst_stage", worst.Name, "worst_stage_dur", time.Duration(worst.Dur))
+	}
 	return res, trace, nil
 }
 
@@ -677,5 +757,6 @@ func (f *Frontend) Handler() http.Handler {
 	ops := obs.Handler(f.reg, f.tracer)
 	mux.Handle("GET /metrics", ops)
 	mux.Handle("GET /traces", ops)
+	mux.Handle("GET /slo", ops)
 	return mux
 }

@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"helios/internal/codec"
@@ -95,12 +96,16 @@ type Server struct {
 	// Requests counts embed calls; Latency tracks the forward-pass time.
 	Requests metrics.Counter
 	Latency  metrics.Histogram
+	// stEmbed is the gnn.embed stage histogram (exemplars keyed by the RPC
+	// frame's trace ID); nil until RegisterMetrics, atomic because embeds
+	// may race a late registration.
+	stEmbed atomic.Pointer[obs.Histogram]
 }
 
 // NewServer builds a model server for enc.
 func NewServer(enc *Encoder) *Server {
 	s := &Server{enc: enc, srv: rpc.NewServer()}
-	s.srv.Handle(MethodEmbed, s.handleEmbed)
+	s.srv.HandleCtx(MethodEmbed, s.handleEmbed)
 	return s
 }
 
@@ -110,6 +115,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("gnn.requests", s.Requests.Value)
 	reg.GaugeFunc("gnn.embed_latency_ns", func() int64 { return s.Latency.Quantile(0.50) }, "q", "p50")
 	reg.GaugeFunc("gnn.embed_latency_ns", func() int64 { return s.Latency.Quantile(0.99) }, "q", "p99")
+	s.stEmbed.Store(reg.Stage(obs.StageGNNEmbed))
 }
 
 // Listen binds the server and returns its address.
@@ -120,7 +126,7 @@ func (s *Server) Listen(addr string) (string, error) {
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleEmbed(req []byte) ([]byte, error) {
+func (s *Server) handleEmbed(ctx rpc.Ctx, req []byte) ([]byte, error) {
 	start := time.Now()
 	r := codec.NewReader(req)
 	t, err := DecodeTree(r)
@@ -132,6 +138,9 @@ func (s *Server) handleEmbed(req []byte) ([]byte, error) {
 	w.Float32s(emb)
 	s.Requests.Inc()
 	s.Latency.RecordSince(start)
+	if st := s.stEmbed.Load(); st != nil {
+		st.Observe(time.Since(start).Nanoseconds(), ctx.Trace)
+	}
 	return w.Bytes(), nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"helios/internal/clock"
 	"helios/internal/metrics"
 	"helios/internal/obs"
 )
@@ -43,9 +44,16 @@ type Options struct {
 	Shards int
 	// BloomBitsPerKey sizes per-run bloom filters; 0 defaults to 10.
 	BloomBitsPerKey int
+	// Clock times the kvstore.get stage histogram once RegisterMetrics has
+	// run; nil defaults to the wall clock. Tests inject a fake for
+	// deterministic latency accounting.
+	Clock clock.Clock
 }
 
 func (o *Options) fill() {
+	if o.Clock == nil {
+		o.Clock = clock.Wall()
+	}
 	if o.MemBudgetBytes == 0 {
 		o.MemBudgetBytes = 64 << 20
 	}
@@ -81,6 +89,10 @@ type DB struct {
 	// count writes, Flushes/Compactions count runs written by each path.
 	Gets, Puts, Deletes  metrics.Counter
 	Flushes, Compactions metrics.Counter
+
+	// stGet times the kvstore.get stage; nil until RegisterMetrics, atomic
+	// because lookups race a late registration.
+	stGet atomic.Pointer[obs.Histogram]
 }
 
 type shard struct {
@@ -199,6 +211,10 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 		return nil, false, ErrClosed
 	}
 	db.Gets.Inc()
+	if st := db.stGet.Load(); st != nil {
+		start := db.opts.Clock.Now()
+		defer func() { st.Observe(db.opts.Clock.Now().Sub(start).Nanoseconds(), 0) }()
+	}
 	s := db.shardFor(key)
 	s.mu.RLock()
 	e, hit := s.m[string(key)]
@@ -260,6 +276,10 @@ func (db *DB) RegisterMetrics(reg *obs.Registry, labels ...string) {
 	reg.GaugeFunc("kvstore.mem_bytes", db.MemBytes, labels...)
 	reg.GaugeFunc("kvstore.disk_bytes", db.DiskBytes, labels...)
 	reg.GaugeFunc("kvstore.runs", func() int64 { return int64(db.NumRuns()) }, labels...)
+	// The kvstore.get stage is shared across stores (no per-store labels),
+	// matching how serving stages form one family per stage — tail
+	// attribution wants the pipeline leg, not the instance.
+	db.stGet.Store(reg.Stage(obs.StageKVGet).WithClock(db.opts.Clock))
 }
 
 // MemBytes returns the approximate memtable size.

@@ -20,14 +20,25 @@ var MetricLabel = &Analyzer{
 	Run:  runMetricLabel,
 }
 
-// registryMethods maps obs.Registry method names to the number of fixed
-// arguments preceding the variadic label list.
-var registryMethods = map[string]int{
-	"Counter":     1,
-	"Gauge":       1,
-	"Histogram":   1,
-	"CounterFunc": 2,
-	"GaugeFunc":   2,
+// registryMethods maps obs.Registry method names to their argument shape:
+// fixed is the number of arguments preceding the variadic label list, and
+// checked is how many leading fixed arguments are themselves identity
+// strings held for the process lifetime (a stage name, an SLO name) and so
+// must obey the same bounded-set rule as label values.
+var registryMethods = map[string]struct {
+	fixed   int
+	checked int
+}{
+	"Counter":     {fixed: 1},
+	"Gauge":       {fixed: 1},
+	"Histogram":   {fixed: 1},
+	"CounterFunc": {fixed: 2},
+	"GaugeFunc":   {fixed: 2},
+	// Stage(stage, labels...) keys the shared stage.latency_ns family by
+	// its first argument; SLO(name, target, objective, window) registers a
+	// burn-rate objective under its first argument.
+	"Stage": {fixed: 1, checked: 1},
+	"SLO":   {fixed: 4, checked: 1},
 }
 
 func runMetricLabel(pass *Pass) {
@@ -49,9 +60,14 @@ func runMetricLabel(pass *Pass) {
 				if !ok {
 					return true
 				}
-				fixed, ok := registryCall(info, call)
+				fixed, checked, ok := registryCall(info, call)
 				if !ok {
 					return true
+				}
+				for i := 0; i < checked && i < len(call.Args); i++ {
+					if mentionsAny(info, call.Args[i], tainted) {
+						pass.Reportf(call.Args[i].Pos(), "stage/SLO name derived from request data; names key process-lifetime state and must come from a bounded constant set or configuration")
+					}
 				}
 				labels := call.Args[fixed:]
 				if call.Ellipsis.IsValid() {
@@ -81,19 +97,20 @@ func runMetricLabel(pass *Pass) {
 }
 
 // registryCall matches a method call on a named Registry type and returns
-// the index where the variadic label arguments start.
-func registryCall(info *types.Info, call *ast.CallExpr) (int, bool) {
+// the index where the variadic label arguments start plus how many leading
+// fixed arguments are taint-checked identity strings.
+func registryCall(info *types.Info, call *ast.CallExpr) (fixed, checked int, ok bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
-	fixed, ok := registryMethods[sel.Sel.Name]
-	if !ok || len(call.Args) < fixed {
-		return 0, false
+	shape, ok := registryMethods[sel.Sel.Name]
+	if !ok || len(call.Args) < shape.fixed {
+		return 0, 0, false
 	}
 	tv, ok := info.Types[sel.X]
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	t := tv.Type
 	if ptr, ok := t.(*types.Pointer); ok {
@@ -101,9 +118,9 @@ func registryCall(info *types.Info, call *ast.CallExpr) (int, bool) {
 	}
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Name() != "Registry" {
-		return 0, false
+		return 0, 0, false
 	}
-	return fixed, true
+	return shape.fixed, shape.checked, true
 }
 
 // requestParams returns the basic-typed (string/numeric) parameters of a

@@ -19,6 +19,13 @@ func (r *Registry) Histogram(name string, labels ...string) {}
 // GaugeFunc mimics obs.Registry.GaugeFunc: name, callback, then labels.
 func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...string) {}
 
+// Stage mimics obs.Registry.Stage: the stage name keys a process-lifetime
+// histogram family, then labels.
+func (r *Registry) Stage(stage string, labels ...string) {}
+
+// SLO mimics obs.Registry.SLO: name, target, objective, window.
+func (r *Registry) SLO(name string, target, objective, window int64) {}
+
 // registerBounded is the disciplined shape: constant keys, constant or
 // configuration-derived values.
 func registerBounded(reg *Registry) {
@@ -32,6 +39,17 @@ func registerRequestDerived(reg *Registry, peer string, shard int) {
 	reg.Gauge("shard.lag", "shard", strconv.Itoa(shard))      // want metriclabel
 	derived := peer + ":suffix"
 	reg.Histogram("rpc.latency", "endpoint", derived)         // want metriclabel
+}
+
+// registerStages exercises the Stage/SLO constructors: constant names are
+// the disciplined shape, request-derived names leak unbounded families.
+func registerStages(reg *Registry, endpoint string, shard int) {
+	reg.Stage("serving.khop_assembly")
+	reg.Stage("serving.queue_wait", "worker", "0")
+	reg.SLO("frontend.sample_latency", 250, 99, 60)
+	reg.Stage(endpoint)                          // want metriclabel
+	reg.Stage("kvstore.get", "shard", strconv.Itoa(shard)) // want metriclabel
+	reg.SLO(endpoint+".latency", 250, 99, 60)    // want metriclabel
 }
 
 // registerComputedKey uses a non-constant label key.

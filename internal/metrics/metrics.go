@@ -39,6 +39,18 @@ const (
 	numBuckets     = 64 * bucketsPerPow2
 )
 
+// NumBuckets is the number of logarithmic buckets a Histogram spans,
+// exported so layers that annotate buckets (internal/obs exemplars) can
+// size parallel per-bucket state without duplicating the bucketing math.
+const NumBuckets = numBuckets
+
+// BucketIndex maps a sample to its bucket index (0 ≤ idx < NumBuckets).
+func BucketIndex(v int64) int { return bucketOf(v) }
+
+// BucketBound returns the representative (upper bound) value of bucket
+// idx, saturating at math.MaxInt64 for the overflow bucket.
+func BucketBound(idx int) int64 { return bucketUpper(idx) }
+
 // Histogram records int64 samples (typically latencies in nanoseconds) into
 // logarithmic buckets. All methods are safe for concurrent use. The zero
 // value is ready to use.

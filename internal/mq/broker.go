@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"strconv"
 	"strings"
@@ -88,6 +89,12 @@ type Broker struct {
 	// reg, once set by RegisterMetrics, receives per-partition end-offset
 	// gauges for every topic, including ones created later.
 	reg *obs.Registry
+	// stAppend/stFetch time the broker legs of the update path once
+	// RegisterMetrics resolves them; nil until then (benches and tests that
+	// never register pay nothing). Atomic because appends and polls race a
+	// late RegisterMetrics.
+	stAppend atomic.Pointer[obs.Histogram]
+	stFetch  atomic.Pointer[obs.Histogram]
 }
 
 // NewBroker returns an empty broker.
@@ -141,6 +148,8 @@ func (b *Broker) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("mq.fetched", b.Fetched.Value)
 	b.mu.Lock()
 	b.reg = reg
+	b.stAppend.Store(reg.Stage(obs.StageMQAppend))
+	b.stFetch.Store(reg.Stage(obs.StageMQFetch))
 	topics := make([]*Topic, 0, len(b.topics))
 	for _, t := range b.topics {
 		topics = append(topics, t)
@@ -251,6 +260,10 @@ func (t *Topic) NumPartitions() int { return len(t.parts) }
 func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error) {
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return 0, fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	if st := t.broker.stAppend.Load(); st != nil {
+		start := time.Now()
+		defer func() { st.Observe(time.Since(start).Nanoseconds(), 0) }()
 	}
 	if err := faultpoint.Inject("mq.append"); err != nil {
 		return 0, err

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// nastyLabels are the values satellite instrumentation could plausibly
+// feed through a label: quotes, newlines, backslashes, the structural
+// rendering bytes, and the text exposition's separators.
+var nastyLabels = []string{
+	`plain`,
+	`has "quotes"`,
+	"line\nbreak",
+	"carriage\rreturn",
+	`back\slash`,
+	`comma,equals=braces{and}`,
+	`trailing\`,
+	` leading and trailing `,
+	``,
+	"mixed \\\"\n,={} everything",
+}
+
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	for _, s := range nastyLabels {
+		esc := EscapeLabel(s)
+		if strings.ContainsAny(esc, "\n\r") {
+			t.Fatalf("EscapeLabel(%q) = %q still spans lines", s, esc)
+		}
+		if got := UnescapeLabel(esc); got != s {
+			t.Fatalf("round trip lost data: %q -> %q -> %q", s, esc, got)
+		}
+	}
+	// Clean strings must come back byte-identical (committed BENCH_*.json
+	// keys depend on the unescaped rendering staying stable).
+	clean := "serving.khop_assembly"
+	if EscapeLabel(clean) != clean {
+		t.Fatalf("clean label mangled: %q", EscapeLabel(clean))
+	}
+}
+
+func TestParseNameRoundTrip(t *testing.T) {
+	for _, val := range nastyLabels {
+		name := Name("stage.latency_ns", "stage", val, "k2", `v"2`)
+		if strings.ContainsAny(name, "\n\r") {
+			t.Fatalf("Name with %q spans lines: %q", val, name)
+		}
+		base, labels := ParseName(name)
+		if base != "stage.latency_ns" {
+			t.Fatalf("base = %q from %q", base, name)
+		}
+		if labels["stage"] != val || labels["k2"] != `v"2` {
+			t.Fatalf("labels = %v, want stage=%q", labels, val)
+		}
+	}
+	if base, labels := ParseName("plain"); base != "plain" || labels != nil {
+		t.Fatalf("unlabelled parse = %q %v", base, labels)
+	}
+}
+
+func TestTextExpositionOneLinePerMetric(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mq.appended", "topic", "evil\ntopic \"x\"").Add(3)
+	reg.Gauge("lag", "peer", `10.0.0.1\x`).Set(5)
+	var b strings.Builder
+	if err := reg.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		// Every line must be `name value`; escaped spaces (`\ `) may appear
+		// inside the name, so the value is everything after the last space.
+		cut := strings.LastIndex(line, " ")
+		if cut < 0 || strings.ContainsAny(line[cut+1:], "{}=,") {
+			t.Fatalf("exposition line not `name value`: %q\nfull:\n%s", line, text)
+		}
+		name := line[:cut]
+		if !strings.Contains(name, "{") {
+			continue
+		}
+		base, labels := ParseName(name)
+		if base == "" || len(labels) == 0 {
+			t.Fatalf("scrape-side parse failed for %q", name)
+		}
+		switch base {
+		case "mq.appended":
+			if labels["topic"] != "evil\ntopic \"x\"" {
+				t.Fatalf("topic label corrupted: %q", labels["topic"])
+			}
+		case "lag":
+			if labels["peer"] != `10.0.0.1\x` {
+				t.Fatalf("peer label corrupted: %q", labels["peer"])
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/clock"
+)
+
+// Logger is the minimal structured logger (stdlib only) the Helios
+// binaries emit operational events through. Every line is one JSON object
+// stamped with the component, the pipeline stage and the request's trace
+// ID — the same trace ID the metrics exemplars and /traces carry, so
+// logs, metrics and traces join on one key:
+//
+//	{"ts":"...","level":"warn","component":"frontend",
+//	 "stage":"frontend.sample","trace":"9f02ab31c77d10e4",
+//	 "msg":"slow sample","total_ms":412}
+//
+// Logging is not a hot-path facility: components log errors, shed/degrade
+// decisions and slow requests, not per-request chatter. All methods are
+// safe for concurrent use and are no-ops on a nil *Logger, so call sites
+// never branch on whether logging is wired.
+type Logger struct {
+	mu        sync.Mutex // serializes line assembly + write
+	w         io.Writer
+	component string
+	clk       clock.Clock
+	min       atomic.Int32
+	buf       []byte
+}
+
+// Level orders log severities.
+type Level int32
+
+// Levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to its
+// Level; unrecognized names report ok=false. It is the shared -log-level
+// flag parser for the binaries.
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelInfo, false
+}
+
+// NewLogger returns a logger writing JSON lines to w (os.Stderr when nil)
+// tagged with the given component name. The default minimum level is
+// Info.
+func NewLogger(w io.Writer, component string) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	l := &Logger{w: w, component: component}
+	l.min.Store(int32(LevelInfo))
+	return l
+}
+
+// WithClock sets the timestamp source, returning l for chaining. Tests
+// inject a fake clock for deterministic "ts" fields.
+func (l *Logger) WithClock(clk clock.Clock) *Logger {
+	if l != nil && clk != nil {
+		l.mu.Lock()
+		l.clk = clk
+		l.mu.Unlock()
+	}
+	return l
+}
+
+// SetLevel sets the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether lines at lv would be emitted — the guard for
+// call sites that would otherwise format arguments for a dropped line.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.min.Load()
+}
+
+// Debug emits a debug line. See Info for the field contract.
+func (l *Logger) Debug(trace uint64, stage, msg string, kv ...any) {
+	l.emit(LevelDebug, trace, stage, msg, kv)
+}
+
+// Info emits an info line. trace is the request's trace ID (0 for
+// untraced work — still stamped, as "0", so every line parses the same
+// way); stage names the pipeline stage the event belongs to; kv are
+// alternating key, value pairs appended as extra JSON fields.
+func (l *Logger) Info(trace uint64, stage, msg string, kv ...any) {
+	l.emit(LevelInfo, trace, stage, msg, kv)
+}
+
+// Warn emits a warning line. See Info for the field contract.
+func (l *Logger) Warn(trace uint64, stage, msg string, kv ...any) {
+	l.emit(LevelWarn, trace, stage, msg, kv)
+}
+
+// Error emits an error line. See Info for the field contract.
+func (l *Logger) Error(trace uint64, stage, msg string, kv ...any) {
+	l.emit(LevelError, trace, stage, msg, kv)
+}
+
+func (l *Logger) emit(lv Level, trace uint64, stage, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if l.clk != nil {
+		now = l.clk.Now()
+	}
+	b := l.buf[:0]
+	b = append(b, `{"ts":`...)
+	b = now.AppendFormat(append(b, '"'), time.RFC3339Nano)
+	b = append(b, `","level":"`...)
+	b = append(b, lv.String()...)
+	b = append(b, `","component":`...)
+	b = appendJSONString(b, l.component)
+	b = append(b, `,"stage":`...)
+	b = appendJSONString(b, stage)
+	b = append(b, `,"trace":"`...)
+	b = strconv.AppendUint(b, trace, 16)
+	b = append(b, `","msg":`...)
+	b = appendJSONString(b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("%v", kv[i])
+		}
+		b = append(b, ',')
+		b = appendJSONString(b, key)
+		b = append(b, ':')
+		b = appendJSONValue(b, kv[i+1])
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	//lint:allow droppederror reason=log sink write failures are not actionable at the call site
+	_, _ = l.w.Write(b)
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control characters. Non-ASCII bytes pass through
+// verbatim (JSON strings are UTF-8).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'a' + v - 10
+}
+
+func appendJSONValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int32:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case time.Duration:
+		return appendJSONString(b, x.String())
+	case string:
+		return appendJSONString(b, x)
+	case error:
+		return appendJSONString(b, x.Error())
+	default:
+		return appendJSONString(b, fmt.Sprintf("%v", x))
+	}
+}
+
+// TraceHex renders a trace ID the way log lines, exemplars and trace URLs
+// do, so correlation greps share one spelling.
+func TraceHex(trace uint64) string { return strconv.FormatUint(trace, 16) }

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"helios/internal/clock"
+)
+
+func TestLoggerJSONLine(t *testing.T) {
+	var buf bytes.Buffer
+	clk := clock.NewFake()
+	l := NewLogger(&buf, "frontend").WithClock(clk)
+	l.Warn(0x9f02ab31c77d10e4, "frontend.sample", "slow sample",
+		"total_ms", int64(412), "degraded", true, "peer", `10.0.0.1:80 "quoted"`+"\n")
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		// The embedded newline in the peer value must be escaped, leaving
+		// exactly the one line terminator.
+		t.Fatalf("not a single line: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"level":     "warn",
+		"component": "frontend",
+		"stage":     "frontend.sample",
+		"trace":     "9f02ab31c77d10e4",
+		"msg":       "slow sample",
+		"peer":      "10.0.0.1:80 \"quoted\"\n",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Fatalf("field %q = %v, want %v", k, rec[k], v)
+		}
+	}
+	if rec["total_ms"] != float64(412) || rec["degraded"] != true {
+		t.Fatalf("kv fields = %v", rec)
+	}
+	ts, err := time.Parse(time.RFC3339Nano, rec["ts"].(string))
+	if err != nil {
+		t.Fatalf("ts field: %v", err)
+	}
+	if !ts.Equal(clk.Now()) {
+		t.Fatalf("ts = %v, want fake clock %v", ts, clk.Now())
+	}
+}
+
+func TestLoggerLevelFilterAndNilSafety(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "c")
+	l.Debug(0, "s", "dropped at default info")
+	if buf.Len() != 0 {
+		t.Fatalf("debug emitted at info level: %s", buf.String())
+	}
+	if l.Enabled(LevelDebug) {
+		t.Fatal("Enabled(debug) true at info level")
+	}
+	l.SetLevel(LevelError)
+	l.Warn(0, "s", "dropped")
+	l.Error(7, "s", "kept")
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("error-level filter kept %d lines:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"trace":"7"`) {
+		t.Fatalf("trace stamp missing: %s", buf.String())
+	}
+
+	// Every method must be a no-op on a nil logger.
+	var nilLog *Logger
+	nilLog.Debug(1, "s", "m")
+	nilLog.Info(1, "s", "m")
+	nilLog.Warn(1, "s", "m")
+	nilLog.Error(1, "s", "m")
+	nilLog.SetLevel(LevelDebug)
+	if nilLog.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+	nilLog.WithClock(clock.NewFake())
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError,
+	} {
+		got, ok := ParseLevel(name)
+		if !ok || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("verbose"); ok {
+		t.Fatal("unknown level accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 //
 //	GET /metrics        registry snapshot, text (default) or ?format=json
 //	GET /traces         slow-request capture + recent ring, JSON
+//	GET /slo            rolling SLO burn rates, JSON
 //	GET /healthz        liveness probe
 //	/debug/pprof/...    the standard Go profiler endpoints
 //
@@ -57,6 +58,17 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 					}
 				}
 			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		out := struct {
+			SLOs map[string]SLOSnapshot `json:"slos"`
+		}{SLOs: map[string]SLOSnapshot{}}
+		if reg != nil {
+			out.SLOs = reg.SLOSnapshots()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		//lint:allow droppederror reason=HTTP response write: the client hanging up mid-body is not actionable

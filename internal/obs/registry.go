@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"helios/internal/metrics"
 )
@@ -65,6 +66,10 @@ type Registry struct {
 	// (consumer lag, cache bytes, externally owned counters).
 	counterFns map[string]func() int64
 	gaugeFns   map[string]func() int64
+	// stages are the exemplar-carrying per-stage latency histograms
+	// (Registry.Stage); slos the registered burn-rate objectives.
+	stages map[string]*Histogram
+	slos   map[string]*SLO
 }
 
 // NewRegistry returns an empty registry.
@@ -75,6 +80,8 @@ func NewRegistry() *Registry {
 		hists:      make(map[string]*metrics.Histogram),
 		counterFns: make(map[string]func() int64),
 		gaugeFns:   make(map[string]func() int64),
+		stages:     make(map[string]*Histogram),
+		slos:       make(map[string]*SLO),
 	}
 }
 
@@ -87,6 +94,10 @@ func Default() *Registry { return defaultRegistry }
 
 // Name renders a metric name with labels in canonical (sorted) form.
 // Labels are alternating key, value pairs; a trailing odd key is ignored.
+// Keys and values are escaped (see EscapeLabel) so an adversarial topic
+// or experiment name cannot smuggle a separator, quote or newline into
+// the scrape output; the common all-clean case renders byte-identically
+// to the unescaped form, keeping committed BENCH_*.json keys stable.
 func Name(base string, labels ...string) string {
 	if len(labels) < 2 {
 		return base
@@ -104,12 +115,125 @@ func Name(base string, labels ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(p.k)
+		b.WriteString(EscapeLabel(p.k))
 		b.WriteByte('=')
-		b.WriteString(p.v)
+		b.WriteString(EscapeLabel(p.v))
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// labelNeedsEscape reports whether c would corrupt the `base{k=v,...}`
+// rendering or the line-oriented text exposition.
+func labelNeedsEscape(c byte) bool {
+	switch c {
+	case '\\', '"', '\n', '\r', ',', '=', '{', '}', ' ':
+		return true
+	}
+	return false
+}
+
+// EscapeLabel escapes a label key or value for the canonical metric-name
+// rendering: backslash-escapes the structural bytes (`, = { }`), space
+// (the name/value separator in text lines), quotes and backslashes, and
+// rewrites newlines as \n / \r so one metric is always one line. Clean
+// strings return unchanged (same backing array, no allocation).
+func EscapeLabel(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if labelNeedsEscape(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	b := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		default:
+			if labelNeedsEscape(c) {
+				b = append(b, '\\', c)
+			} else {
+				b = append(b, c)
+			}
+		}
+	}
+	return string(b)
+}
+
+// UnescapeLabel inverts EscapeLabel.
+func UnescapeLabel(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b = append(b, '\n')
+			case 'r':
+				b = append(b, '\r')
+			default:
+				b = append(b, s[i])
+			}
+			continue
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// ParseName splits a canonical metric name back into its base and label
+// pairs, undoing EscapeLabel — the scrape-side inverse of Name. Names
+// without labels return a nil map.
+func ParseName(name string) (base string, labels map[string]string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:open]
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return base, nil
+	}
+	labels = make(map[string]string)
+	var k []byte
+	var cur []byte
+	flushPair := func() {
+		if k != nil {
+			labels[UnescapeLabel(string(k))] = UnescapeLabel(string(cur))
+		}
+		k, cur = nil, nil
+	}
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && i+1 < len(body):
+			cur = append(cur, c, body[i+1])
+			i++
+		case c == '=' && k == nil:
+			k = cur
+			if k == nil {
+				k = []byte{}
+			}
+			cur = nil
+		case c == ',':
+			flushPair()
+		default:
+			cur = append(cur, c)
+		}
+	}
+	flushPair()
+	return base, labels
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -166,6 +290,84 @@ func (r *Registry) Histogram(base string, labels ...string) *metrics.Histogram {
 	return h
 }
 
+// StageMetric is the base name every per-stage latency histogram is
+// registered under; the stage itself is the `stage` label.
+const StageMetric = "stage.latency_ns"
+
+// Stage returns the exemplar histogram for one pipeline stage, creating
+// it on first use. All stage histograms share the base name
+// "stage.latency_ns" with the stage as a label (plus any extra labels),
+// so the whole request path reads as one labelled family:
+//
+//	stage.latency_ns{stage=serving.khop_assembly}_p99
+//
+// Stage names should come from the Stage* constants so the lint suite can
+// vouch for bounded cardinality.
+func (r *Registry) Stage(stage string, labels ...string) *Histogram {
+	name := Name(StageMetric, append([]string{"stage", stage}, labels...)...)
+	r.mu.RLock()
+	h := r.stages[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.stages[name]; h == nil {
+		h = &Histogram{}
+		r.stages[name] = h
+	}
+	return h
+}
+
+// SLO returns the named burn-rate objective, creating and registering it
+// on first use (an existing name wins over new parameters, mirroring the
+// other get-or-create constructors). Registered SLOs are served on /slo
+// and folded into every snapshot as slo.* gauges.
+func (r *Registry) SLO(name string, target time.Duration, objective float64, window time.Duration) *SLO {
+	r.mu.RLock()
+	s := r.slos[name]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.slos[name]; s == nil {
+		s = NewSLO(name, target, objective, window)
+		r.slos[name] = s
+	}
+	return s
+}
+
+// ReplaceSLO installs s under its name, displacing any previously
+// registered objective — the re-targeting path (Registry.SLO is
+// get-or-create and ignores new parameters).
+func (r *Registry) ReplaceSLO(s *SLO) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slos[s.Name] = s
+	r.mu.Unlock()
+}
+
+// SLOSnapshots returns the rolling state of every registered SLO — the
+// /slo endpoint's document.
+func (r *Registry) SLOSnapshots() map[string]SLOSnapshot {
+	r.mu.RLock()
+	slos := make([]*SLO, 0, len(r.slos))
+	for _, s := range r.slos {
+		slos = append(slos, s)
+	}
+	r.mu.RUnlock()
+	out := make(map[string]SLOSnapshot, len(slos))
+	for _, s := range slos {
+		out[s.Name] = s.Snapshot()
+	}
+	return out
+}
+
 // CounterFunc registers a monotonic value computed at scrape time —
 // the bridge for counters owned by components that predate the registry
 // (broker Appended/Fetched, actor-pool Handled, rpc call counts).
@@ -192,6 +394,11 @@ type Snapshot struct {
 	Counters   map[string]int64            `json:"counters"`
 	Gauges     map[string]int64            `json:"gauges"`
 	Histograms map[string]metrics.Snapshot `json:"histograms"`
+	// Stages are the per-stage exemplar histograms (tail quantiles through
+	// p999 plus trace exemplars), keyed by canonical metric name.
+	Stages map[string]HistSnapshot `json:"stages,omitempty"`
+	// SLOs are the registered burn-rate objectives, keyed by SLO name.
+	SLOs map[string]SLOSnapshot `json:"slos,omitempty"`
 }
 
 // Snapshot captures all metrics. Scrape functions run outside the
@@ -221,6 +428,24 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
 	}
+	if len(r.stages) > 0 {
+		s.Stages = make(map[string]HistSnapshot, len(r.stages))
+		for name, h := range r.stages {
+			s.Stages[name] = h.Snapshot()
+		}
+	}
+	if len(r.slos) > 0 {
+		s.SLOs = make(map[string]SLOSnapshot, len(r.slos))
+		for name, slo := range r.slos {
+			snap := slo.Snapshot()
+			s.SLOs[name] = snap
+			// Fold the burn state into the gauge section so plain /metrics
+			// scrapers (and the text exposition) see it without a new shape.
+			s.Gauges[Name("slo.burn_rate_milli", "slo", name)] = int64(snap.BurnRate * 1000)
+			s.Gauges[Name("slo.bad_total", "slo", name)] = snap.Bad
+			s.Gauges[Name("slo.good_total", "slo", name)] = snap.Good
+		}
+	}
 	return s
 }
 
@@ -242,6 +467,21 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			fmt.Sprintf("%s_p90 %d", name, h.P90),
 			fmt.Sprintf("%s_p99 %d", name, h.P99),
 			fmt.Sprintf("%s_max %d", name, h.Max))
+	}
+	for name, h := range s.Stages {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, h.Count),
+			fmt.Sprintf("%s_mean %.0f", name, h.Mean),
+			fmt.Sprintf("%s_p50 %d", name, h.P50),
+			fmt.Sprintf("%s_p90 %d", name, h.P90),
+			fmt.Sprintf("%s_p99 %d", name, h.P99),
+			fmt.Sprintf("%s_p999 %d", name, h.P999),
+			fmt.Sprintf("%s_max %d", name, h.Max))
+		// The text scrape keeps the p99→trace link: the exemplar line's
+		// value is the hex trace ID to resolve on /traces.
+		if h.P99Exemplar != "" {
+			lines = append(lines, fmt.Sprintf("%s_p99_exemplar %s", name, h.P99Exemplar))
+		}
 	}
 	sort.Strings(lines)
 	for _, line := range lines {

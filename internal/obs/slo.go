@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/clock"
+)
+
+// SLO tracks a rolling latency objective: "Objective of events complete
+// within Target over the trailing Window". Every observation is counted
+// good (≤ Target) or bad (> Target) into a ring of window slots; the burn
+// rate is the observed bad fraction divided by the budgeted bad fraction
+// (1 − Objective). Burn 1.0 means the error budget is being consumed
+// exactly as provisioned; above 1.0 the objective will be violated if the
+// rate holds — the standard multi-window burn alerting quantity.
+//
+// Observations are two atomic adds on the steady path; slot rotation
+// (once per Window/sloSlots) takes a mutex.
+type SLO struct {
+	// Name identifies the objective (e.g. "frontend.sample_latency").
+	Name string
+	// Target is the latency threshold defining a good event.
+	Target time.Duration
+	// Objective is the required good fraction in (0, 1), e.g. 0.99.
+	Objective float64
+	// Window is the trailing accounting window.
+	Window time.Duration
+
+	clk   atomic.Value // clock.Clock; wall when unset
+	mu    sync.Mutex   // serializes slot rotation
+	slots [sloSlots]sloSlot
+}
+
+// sloSlots subdivides Window; a slot expires in whole units, so the
+// effective window wobbles by Window/sloSlots (~6%).
+const sloSlots = 16
+
+type sloSlot struct {
+	epoch atomic.Int64 // slot index since the unix epoch; 0 = never used
+	good  atomic.Int64
+	bad   atomic.Int64
+}
+
+// NewSLO returns an SLO on the wall clock. A non-positive or ≥1 objective
+// defaults to 0.99; a non-positive window defaults to one minute.
+func NewSLO(name string, target time.Duration, objective float64, window time.Duration) *SLO {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	if target <= 0 {
+		target = 250 * time.Millisecond
+	}
+	return &SLO{Name: name, Target: target, Objective: objective, Window: window}
+}
+
+// WithClock sets the window-rotation clock, returning s for chaining.
+func (s *SLO) WithClock(clk clock.Clock) *SLO {
+	if clk != nil {
+		s.clk.Store(clk)
+	}
+	return s
+}
+
+func (s *SLO) nowNS() int64 {
+	if c, ok := s.clk.Load().(clock.Clock); ok {
+		return c.Now().UnixNano()
+	}
+	return time.Now().UnixNano()
+}
+
+func (s *SLO) slotDur() int64 {
+	d := s.Window.Nanoseconds() / sloSlots
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// Observe counts one event against the objective using the SLO's clock.
+// Histograms with an attached SLO call the internal form instead, reusing
+// the clock read they already paid for the exemplar.
+func (s *SLO) Observe(lat time.Duration) { s.observe(lat.Nanoseconds(), s.nowNS()) }
+
+func (s *SLO) observe(latNS, nowNS int64) {
+	cur := nowNS / s.slotDur()
+	slot := &s.slots[((cur%sloSlots)+sloSlots)%sloSlots]
+	if slot.epoch.Load() != cur {
+		s.mu.Lock()
+		// A concurrent Observe with a clock reading one whole Window apart
+		// could race this reset; within a window all writers agree on cur.
+		if slot.epoch.Load() != cur {
+			slot.good.Store(0)
+			slot.bad.Store(0)
+			slot.epoch.Store(cur)
+		}
+		s.mu.Unlock()
+	}
+	if latNS <= s.Target.Nanoseconds() {
+		slot.good.Add(1)
+	} else {
+		slot.bad.Add(1)
+	}
+}
+
+// SLOSnapshot is the rolling state of one SLO, in the shape served by
+// /slo and embedded in registry snapshots.
+type SLOSnapshot struct {
+	Name        string  `json:"name"`
+	TargetNS    int64   `json:"target_ns"`
+	Objective   float64 `json:"objective"`
+	WindowNS    int64   `json:"window_ns"`
+	Good        int64   `json:"good"`
+	Bad         int64   `json:"bad"`
+	Total       int64   `json:"total"`
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is BadFraction / (1 − Objective); > 1 burns error budget
+	// faster than provisioned.
+	BurnRate float64 `json:"burn_rate"`
+	Healthy  bool    `json:"healthy"`
+}
+
+// Snapshot sums the slots still inside the trailing window.
+func (s *SLO) Snapshot() SLOSnapshot {
+	cur := s.nowNS() / s.slotDur()
+	out := SLOSnapshot{
+		Name:      s.Name,
+		TargetNS:  s.Target.Nanoseconds(),
+		Objective: s.Objective,
+		WindowNS:  s.Window.Nanoseconds(),
+	}
+	for i := range s.slots {
+		slot := &s.slots[i]
+		if e := slot.epoch.Load(); e == 0 || e <= cur-sloSlots || e > cur {
+			continue
+		}
+		out.Good += slot.good.Load()
+		out.Bad += slot.bad.Load()
+	}
+	out.Total = out.Good + out.Bad
+	if out.Total > 0 {
+		out.BadFraction = float64(out.Bad) / float64(out.Total)
+	}
+	if budget := 1 - s.Objective; budget > 0 {
+		out.BurnRate = out.BadFraction / budget
+	}
+	out.Healthy = out.BurnRate < 1
+	return out
+}

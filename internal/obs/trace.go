@@ -64,10 +64,32 @@ type Tracer struct {
 	filled bool
 	worst  []Trace // sorted by Total descending, ≤ worstN
 	worstN int
+	// Span-payload budget per retained trace (see SetSpanBudget): a trace
+	// keeps at most maxSpans spans and maxSpanBytes of span-name bytes,
+	// so retained memory is bounded by (ringCap+worstN)·maxSpanBytes no
+	// matter what callers record under sustained load.
+	maxSpans     int
+	maxSpanBytes int
 
 	nextID atomic.Uint64
 	seed   uint64
 }
+
+// Default per-trace span budget. 64 spans comfortably covers the deepest
+// instrumented path (K hops × a few stages each); 4KiB of span names is
+// ~an order of magnitude above what real stages produce.
+const (
+	DefaultMaxSpans     = 64
+	DefaultMaxSpanBytes = 4096
+)
+
+// spanOverhead approximates the fixed in-memory cost of one Span beyond
+// its name bytes (string header + duration).
+const spanOverhead = 24
+
+// traceOverhead approximates the fixed in-memory cost of one retained
+// Trace (struct fields + slice header + op string).
+const traceOverhead = 96
 
 // traceSeed distinguishes processes minting IDs concurrently. It reads
 // the wall clock once at startup — acceptable here because obs is not a
@@ -86,7 +108,83 @@ func NewTracer(ringCap, worstN int) *Tracer {
 	if worstN <= 0 {
 		worstN = 16
 	}
-	return &Tracer{recent: make([]Trace, 0, ringCap), worstN: worstN, seed: traceSeed}
+	return &Tracer{
+		recent:       make([]Trace, 0, ringCap),
+		worstN:       worstN,
+		maxSpans:     DefaultMaxSpans,
+		maxSpanBytes: DefaultMaxSpanBytes,
+		seed:         traceSeed,
+	}
+}
+
+// SetSpanBudget overrides the per-trace retention caps (non-positive
+// arguments keep the defaults). Recording is unaffected upstream — only
+// what the tracer *retains* is clipped.
+func (t *Tracer) SetSpanBudget(maxSpans, maxSpanBytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if maxSpans > 0 {
+		t.maxSpans = maxSpans
+	}
+	if maxSpanBytes > 0 {
+		t.maxSpanBytes = maxSpanBytes
+	}
+}
+
+// truncatedSpan marks clipped traces; its duration folds in everything
+// the budget dropped, so SpanSum is preserved.
+const truncatedSpan = "obs.truncated"
+
+// bound clips tr to the span budget, folding dropped spans into one
+// synthetic truncation span so totals still reconcile.
+func (t *Tracer) bound(tr Trace) Trace {
+	maxSpans, maxBytes := t.maxSpans, t.maxSpanBytes
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxSpanBytes
+	}
+	keep := len(tr.Spans)
+	bytes := 0
+	for i, s := range tr.Spans {
+		bytes += len(s.Name) + spanOverhead
+		// Reserve one slot for the synthetic span when clipping.
+		if i >= maxSpans-1 || bytes > maxBytes {
+			keep = i
+			break
+		}
+	}
+	if keep >= len(tr.Spans) {
+		return tr
+	}
+	var dropped int64
+	for _, s := range tr.Spans[keep:] {
+		dropped += s.Dur
+	}
+	spans := make([]Span, keep+1)
+	copy(spans, tr.Spans[:keep])
+	spans[keep] = Span{Name: truncatedSpan, Dur: dropped}
+	tr.Spans = spans
+	return tr
+}
+
+// ApproxBytes estimates the retained span-payload memory across the
+// recent ring and worst-N capture — the quantity the memory-ceiling
+// regression test pins.
+func (t *Tracer) ApproxBytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, set := range [2][]Trace{t.recent, t.worst} {
+		for _, tr := range set {
+			total += traceOverhead + len(tr.Op)
+			for _, s := range tr.Spans {
+				total += spanOverhead + len(s.Name)
+			}
+		}
+	}
+	return total
 }
 
 // NewID mints a process-unique, nonzero trace ID. IDs are a splitmix64
@@ -101,10 +199,11 @@ func (t *Tracer) NewID() uint64 {
 	}
 }
 
-// Record stores one completed trace.
+// Record stores one completed trace, clipped to the span budget.
 func (t *Tracer) Record(tr Trace) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	tr = t.bound(tr)
 	if len(t.recent) < cap(t.recent) {
 		t.recent = append(t.recent, tr)
 	} else {

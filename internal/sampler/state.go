@@ -53,10 +53,17 @@ func newShard(src rand.Source) *shard {
 func (w *Worker) handleEvent(worker int, ev event) {
 	st := w.shards[worker]
 	switch ev.kind {
-	case evEdge:
-		w.onEdge(st, ev)
-	case evVertex:
-		w.onVertex(st, ev)
+	case evEdge, evVertex:
+		// Graph updates are the sampler.refresh stage: the reservoir step
+		// plus subscription fan-out one update costs. The update's trace ID
+		// rides along as the exemplar.
+		start := w.cfg.Clock.Now()
+		if ev.kind == evEdge {
+			w.onEdge(st, ev)
+		} else {
+			w.onVertex(st, ev)
+		}
+		w.stRefresh.Observe(w.cfg.Clock.Now().Sub(start).Nanoseconds(), ev.update.Trace)
 	case evSubDelta:
 		w.onSubDelta(st, ev)
 	case evFeatSubDelta:

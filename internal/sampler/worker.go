@@ -185,6 +185,9 @@ type Worker struct {
 	// staleness is the event-time delta between the most recent update's
 	// ingestion and the reservoir refresh it caused (§5 freshness).
 	staleness *obs.Gauge
+	// stRefresh times one graph-update refresh (reservoir step plus
+	// subscription maintenance); traced updates leave exemplars.
+	stRefresh *obs.Histogram
 }
 
 // event is the sampling pool's message type; exactly one shape per kind.
@@ -278,6 +281,7 @@ func (w *Worker) registerMetrics() {
 	w.subDeltasApplied = reg.Counter("sampler.sub_deltas_applied", "worker", worker)
 	w.expired = reg.Counter("sampler.expired", "worker", worker)
 	w.staleness = reg.Gauge("sampler.refresh_staleness_ns", "worker", worker)
+	w.stRefresh = reg.Stage(obs.StageSamplerRefresh).WithClock(w.cfg.Clock)
 	reg.GaugeFunc("mq.consumer_lag", w.Lag,
 		"topic", wire.TopicUpdates, "partition", worker)
 	reg.GaugeFunc("mq.consumer_lag", w.SubsLag,

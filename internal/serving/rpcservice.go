@@ -140,8 +140,14 @@ func ServeRPC(w *Worker, srv *rpc.Server) {
 		if err != nil {
 			return nil, err
 		}
+		// The encode stage is observed (with the request's trace exemplar)
+		// but not appended as a span: the result's span list is part of the
+		// payload being encoded. Frontend-side it reads as rpc_transport
+		// residual.
+		encStart := w.cfg.Clock.Now()
 		cw := codec.NewWriter(1024)
 		AppendResult(cw, res)
+		w.stEncode.Observe(w.cfg.Clock.Now().Sub(encStart).Nanoseconds(), ctx.Trace)
 		return cw.Bytes(), nil
 	})
 }
@@ -160,9 +166,12 @@ func (w *Worker) ServeAdmitted(ctx rpc.Ctx, qid query.ID, seed graph.VertexID) (
 	if err != nil {
 		if w.cfg.Degrade && overload.IsOverload(err) && !ctx.Expired(w.cfg.Clock.Now()) {
 			if res, derr := w.SampleDegraded(qid, seed); derr == nil {
+				w.cfg.Logger.Info(ctx.Trace, "serving.admission", "degraded serve under shed",
+					"seed", uint64(seed), "staleness", time.Duration(res.StalenessNS))
 				return res, nil
 			}
 		}
+		w.cfg.Logger.Warn(ctx.Trace, "serving.admission", "sample shed", "seed", uint64(seed), "err", err)
 		return nil, err
 	}
 	defer release()

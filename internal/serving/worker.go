@@ -83,6 +83,13 @@ type Config struct {
 	// Tracer records completed request traces for requests carrying a
 	// nonzero trace ID; nil defaults to a private tracer.
 	Tracer *obs.Tracer
+	// Logger receives structured operational events (deadline expiries,
+	// degraded serves, slow traced requests), each stamped with the
+	// request's trace ID. Nil disables logging.
+	Logger *obs.Logger
+	// SlowLog logs traced requests whose service time meets this
+	// threshold (trace-correlated tail forensics); 0 disables.
+	SlowLog time.Duration
 }
 
 func (c *Config) fill() error {
@@ -256,12 +263,25 @@ type Worker struct {
 	queryLat      *metrics.Histogram
 	ingestLat     *metrics.Histogram
 	staleness     *obs.Gauge
+
+	// Per-stage exemplar histograms (one family shared by all workers on a
+	// registry; traced requests pin exemplars).
+	stQueueWait  *obs.Histogram
+	stKHop       *obs.Histogram
+	stFeature    *obs.Histogram
+	stEncode     *obs.Histogram
+	stCacheApply *obs.Histogram
 }
 
 // New assembles a worker; call Start to begin consuming cache updates.
 func New(cfg Config) (*Worker, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	if cfg.Store.Clock == nil {
+		// The cache store times its kvstore.get stage on the worker's clock
+		// so fake-clock tests see deterministic stage latencies.
+		cfg.Store.Clock = cfg.Clock
 	}
 	db, err := kvstore.Open(cfg.Store)
 	if err != nil {
@@ -318,6 +338,11 @@ func (w *Worker) registerMetrics() {
 	}, "worker", worker)
 	reg.GaugeFunc("mq.consumer_lag", w.Lag,
 		"topic", wire.TopicSamples, "partition", worker)
+	w.stQueueWait = reg.Stage(obs.StageServingQueueWait).WithClock(w.cfg.Clock)
+	w.stKHop = reg.Stage(obs.StageServingKHop).WithClock(w.cfg.Clock)
+	w.stFeature = reg.Stage(obs.StageServingFeature).WithClock(w.cfg.Clock)
+	w.stEncode = reg.Stage(obs.StageServingEncode).WithClock(w.cfg.Clock)
+	w.stCacheApply = reg.Stage(obs.StageServingCacheApply).WithClock(w.cfg.Clock)
 	w.db.RegisterMetrics(reg, "worker", worker)
 }
 
@@ -514,6 +539,7 @@ func (w *Worker) applyMessage(_ int, m wire.Message) {
 	if m.Ingested > 0 {
 		lat := now - m.Ingested
 		w.ingestLat.Record(lat)
+		w.stCacheApply.Observe(lat, m.Trace)
 		// Sample-table staleness (§5 freshness): event-time delta between
 		// the causing update's ingestion and this cache refresh.
 		w.staleness.Set(lat)
@@ -522,7 +548,7 @@ func (w *Worker) applyMessage(_ int, m wire.Message) {
 			// leg of the trace so /traces can attribute freshness.
 			w.cfg.Tracer.Record(obs.Trace{
 				ID: m.Trace, Op: "cache_apply", Start: m.Ingested, Total: lat,
-				Spans: []obs.Span{{Name: "serving.cache_apply", Dur: lat}},
+				Spans: []obs.Span{{Name: obs.StageServingCacheApply, Dur: lat}},
 			})
 		}
 	}
@@ -548,21 +574,38 @@ func (w *Worker) handleRequest(_ int, req Request) {
 		// queue: fail fast instead of assembling an answer nobody is waiting
 		// for (the tentpole's "abandon work when the caller gives up").
 		w.deadlineExp.Inc()
+		if req.Trace != 0 {
+			w.cfg.Logger.Warn(req.Trace, obs.StageServingQueueWait,
+				"deadline expired in serve queue", "seed", uint64(req.Seed))
+		}
 		if req.Resp != nil {
 			req.Resp <- Response{Err: rpc.ErrDeadlineExceeded}
 		}
 		return
 	}
-	res, err := w.sample(req.Query, req.Seed, req.Deadline)
+	res, err := w.sample(req.Query, req.Seed, req.Deadline, req.Trace)
 	end := w.cfg.Clock.Now()
 	if res != nil && req.Enqueued > 0 {
 		wait := start.UnixNano() - req.Enqueued
 		if wait < 0 {
 			wait = 0
 		}
+		w.stQueueWait.Observe(wait, req.Trace)
 		stages := make([]obs.Span, 0, len(res.Stages)+1)
-		stages = append(stages, obs.Span{Name: "serving.queue_wait", Dur: wait})
+		stages = append(stages, obs.Span{Name: obs.StageServingQueueWait, Dur: wait})
 		res.Stages = append(stages, res.Stages...)
+	}
+	if req.Trace != 0 && w.cfg.SlowLog > 0 && end.Sub(start) >= w.cfg.SlowLog && w.cfg.Logger.Enabled(obs.LevelInfo) {
+		worst := obs.Span{}
+		if res != nil {
+			for _, s := range res.Stages {
+				if s.Dur > worst.Dur {
+					worst = s
+				}
+			}
+		}
+		w.cfg.Logger.Info(req.Trace, worst.Name, "slow serve",
+			"seed", uint64(req.Seed), "service", end.Sub(start), "worst_stage_dur", time.Duration(worst.Dur))
 	}
 	if req.Trace != 0 && res != nil {
 		// Total covers queue wait + service so the spans always sum to at
@@ -592,7 +635,7 @@ func unknownQuery(qid query.ID) error {
 // independent of the seed's actual degree — the property that removes the
 // long tail of Fig. 4.
 func (w *Worker) Sample(qid query.ID, seed graph.VertexID) (*Result, error) {
-	return w.sample(qid, seed, 0)
+	return w.sample(qid, seed, 0, 0)
 }
 
 // SampleDegraded assembles the cached K-hop answer inline — on the caller's
@@ -609,7 +652,7 @@ func (w *Worker) SampleDegraded(qid query.ID, seed graph.VertexID) (*Result, err
 		return nil, overload.Shed("serving", "degraded_full")
 	}
 	defer release()
-	res, err := w.sample(qid, seed, 0)
+	res, err := w.sample(qid, seed, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -626,17 +669,20 @@ func (w *Worker) SampleDegraded(qid query.ID, seed graph.VertexID) (*Result, err
 // lookups.
 //
 //lint:hotpath
-func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64) (*Result, error) {
-	// Chaos hook: burst drills arm a delay here to slow the serve path
-	// without touching the cache (scripts/burst-smoke.sh, burst_test.go).
-	if err := faultpoint.Inject("serving.sample"); err != nil {
-		return nil, err
-	}
+func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64, trace uint64) (*Result, error) {
 	plan, ok := w.plans[qid]
 	if !ok {
 		return nil, unknownQuery(qid)
 	}
 	start := w.cfg.Clock.Now()
+	// Chaos hook: burst drills arm a delay here to slow the serve path
+	// without touching the cache (scripts/burst-smoke.sh, burst_test.go).
+	// It fires *after* the assembly timer starts so an injected delay lands
+	// inside the serving.khop_assembly stage/span — the p99 spike it causes
+	// is attributable, not invisible.
+	if err := faultpoint.Inject("serving.sample"); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Layers:   make([][]graph.VertexID, 1, len(plan.OneHops)+1),
 		Features: make(map[graph.VertexID][]float32),
@@ -701,9 +747,13 @@ func (w *Worker) sample(qid query.ID, seed graph.VertexID, deadline int64) (*Res
 		}
 	}
 	done := w.cfg.Clock.Now()
+	khop := assembled.Sub(start).Nanoseconds()
+	feat := done.Sub(assembled).Nanoseconds()
 	res.Stages = append(res.Stages,
-		obs.Span{Name: "serving.khop_assembly", Dur: assembled.Sub(start).Nanoseconds()},
-		obs.Span{Name: "serving.feature_fetch", Dur: done.Sub(assembled).Nanoseconds()})
+		obs.Span{Name: obs.StageServingKHop, Dur: khop},
+		obs.Span{Name: obs.StageServingFeature, Dur: feat})
+	w.stKHop.Observe(khop, trace)
+	w.stFeature.Observe(feat, trace)
 	w.served.Inc()
 	w.queryLat.Record(done.Sub(start).Nanoseconds())
 	return res, nil

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # obs-smoke: boots the examples/distributed deployment with an ops
 # listener, waits for the demo workload to flow through the pipeline, then
-# scrapes /metrics and /traces and asserts both are non-empty — the
-# end-to-end check that the observability wiring survives from worker
-# construction to HTTP scrape. Run via `make obs-smoke`.
+# scrapes /metrics, /traces and /slo and asserts the whole attribution
+# chain is present — stage histograms with trace exemplars, recorded
+# spans, and rolling SLO burn state — the end-to-end check that the
+# observability wiring survives from worker construction to HTTP scrape.
+# Run via `make obs-smoke`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,9 +57,29 @@ grep -q "mq.consumer_lag" "${log}.body" || {
   exit 1
 }
 
+grep -q "slo.burn_rate_milli" "${log}.body" || {
+  echo "obs-smoke: /metrics has no SLO burn gauges" >&2
+  exit 1
+}
+
 fetch "http://$addr/metrics?format=json"
 grep -q '"counters"' "${log}.body" || {
   echo "obs-smoke: /metrics?format=json is not a snapshot document" >&2
+  exit 1
+}
+grep -q '"stages"' "${log}.body" || {
+  echo "obs-smoke: /metrics?format=json has no stage histograms" >&2
+  exit 1
+}
+# Every gateway /sample is traced, so the stage histograms must hold
+# exemplars: the trace-ID join key from a p99 bucket to /traces.
+grep -q '"p99_exemplar"' "${log}.body" || {
+  echo "obs-smoke: stage histograms carry no trace exemplars:" >&2
+  cat "${log}.body" >&2
+  exit 1
+}
+grep -q '"value_ns"' "${log}.body" || {
+  echo "obs-smoke: exemplar records missing value/timestamp fields" >&2
   exit 1
 }
 
@@ -65,6 +87,17 @@ fetch "http://$addr/traces"
 grep -q '"spans"' "${log}.body" || {
   echo "obs-smoke: /traces contains no recorded traces:" >&2
   cat "${log}.body" >&2
+  exit 1
+}
+
+fetch "http://$addr/slo"
+grep -q '"frontend.sample_latency"' "${log}.body" || {
+  echo "obs-smoke: /slo does not list the frontend latency objective:" >&2
+  cat "${log}.body" >&2
+  exit 1
+}
+grep -q '"burn_rate"' "${log}.body" || {
+  echo "obs-smoke: /slo entries carry no burn rate" >&2
   exit 1
 }
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# perf-regression: regenerates the per-stage latency snapshot with
+# `helios-bench latency` and diffs its latency.stage_p99_ns{stage=...}
+# gauges against the committed BENCH_latency.json. A stage whose fresh p99
+# exceeds baseline*PERF_TOL_FACTOR + PERF_TOL_SLACK_NS fails the gate; the
+# generous defaults absorb shared-CI scheduling noise while still catching
+# an order-of-magnitude tail regression in any one pipeline stage. A stage
+# present in the baseline but missing from the fresh run is lost coverage
+# and also fails. Run via `make perf-regression` (part of `make check`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tolerance knobs (override via environment for quieter machines):
+#   PERF_TOL_FACTOR   multiplicative headroom on the committed p99
+#   PERF_TOL_SLACK_NS additive headroom, floors the gate for sub-ms stages
+PERF_TOL_FACTOR=${PERF_TOL_FACTOR:-5}
+PERF_TOL_SLACK_NS=${PERF_TOL_SLACK_NS:-50000000}
+
+baseline=BENCH_latency.json
+if [ ! -f "$baseline" ]; then
+  echo "perf-regression: missing committed $baseline; run 'go run ./cmd/helios-bench latency' and commit the snapshot" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+cleanup() { rm -rf "$tmpdir"; }
+trap cleanup EXIT
+
+go run ./cmd/helios-bench -metrics-json "$tmpdir/FRESH" latency >"$tmpdir/out.log" 2>&1 || {
+  echo "perf-regression: helios-bench latency failed:" >&2
+  cat "$tmpdir/out.log" >&2
+  exit 1
+}
+fresh="$tmpdir/FRESH_latency.json"
+
+# Extract 'stage p99_ns' pairs for the latency gauges from a snapshot.
+gauges() {
+  sed -n 's/^[[:space:]]*"latency\.stage_p99_ns{stage=\([a-z0-9_.]*\)}": \([0-9]*\),*$/\1 \2/p' "$1"
+}
+
+gauges "$baseline" >"$tmpdir/base.txt"
+gauges "$fresh" >"$tmpdir/fresh.txt"
+if [ ! -s "$tmpdir/fresh.txt" ]; then
+  echo "perf-regression: no latency.stage_p99_ns gauges in fresh snapshot $fresh" >&2
+  exit 1
+fi
+
+fail=0
+while read -r name value; do
+  base=$(sed -n "s/^$name //p" "$tmpdir/base.txt")
+  if [ -z "$base" ]; then
+    echo "perf-regression: NEW stage $name p99=${value}ns (no committed baseline; re-commit $baseline)"
+    continue
+  fi
+  limit=$((base * PERF_TOL_FACTOR + PERF_TOL_SLACK_NS))
+  if [ "$value" -gt "$limit" ]; then
+    echo "perf-regression: REGRESSION $name: p99 ${value}ns, committed baseline ${base}ns (limit ${limit}ns)" >&2
+    fail=1
+  else
+    echo "perf-regression: ok $name: p99 ${value}ns (baseline ${base}ns, limit ${limit}ns)"
+  fi
+done <"$tmpdir/fresh.txt"
+
+# A stage that disappeared from the fresh run means the pipeline lost
+# instrumentation coverage — that is a gate failure, not a cleanup.
+while read -r name _; do
+  if ! grep -q "^$name " "$tmpdir/fresh.txt"; then
+    echo "perf-regression: stage $name present in committed $baseline but missing from fresh run" >&2
+    fail=1
+  fi
+done <"$tmpdir/base.txt"
+
+exit "$fail"
