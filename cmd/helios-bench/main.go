@@ -8,7 +8,12 @@
 //	helios-bench [flags] <experiment>
 //
 // Experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc all
+// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency all
+//
+// The extra "cluster" subcommand is an operator dump, not an experiment:
+// it scrapes a live coordinator's GET /cluster endpoint (-cluster-url)
+// and/or reads a flight-recorder directory (-flight-dir) and renders the
+// worker liveness table, partition heat table, and newest capture.
 //
 // (fig9 prints both the throughput rows of Fig. 9 and the latency rows of
 // Fig. 10 — they come from the same sweep.)
@@ -42,6 +47,8 @@ func main() {
 	netDelay := flag.Duration("net-delay", 0, "injected per-RPC delay for the baseline (models datacenter RTT)")
 	seed := flag.Int64("seed", 42, "random seed")
 	metricsOut := flag.String("metrics-json", "BENCH", "write a metrics-registry snapshot to <prefix>_<experiment>.json after each experiment (empty = off)")
+	clusterURL := flag.String("cluster-url", "", "coordinator ops address or URL to scrape for the cluster subcommand")
+	flightDir := flag.String("flight-dir", "", "flight-recorder directory to read for the cluster subcommand")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
@@ -65,8 +72,16 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: helios-bench [flags] <experiment>")
-		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency all")
+		fmt.Fprintln(os.Stderr, "operator dump: cluster -cluster-url <ops-addr> [-flight-dir <dir>]")
 		os.Exit(2)
+	}
+	if strings.EqualFold(flag.Arg(0), "cluster") {
+		if err := runCluster(*clusterURL, *flightDir, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "helios-bench %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var concs []int

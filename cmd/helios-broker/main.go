@@ -1,7 +1,9 @@
 // Command helios-broker runs the durable queue service all Helios stages
 // communicate through (the Kafka role of §4.1), plus the coordinator's
-// heartbeat endpoint: workers report liveness over the same reconnecting
-// connection they use for queue traffic.
+// control surface: workers report liveness heartbeats and telemetry
+// snapshots over the same reconnecting connection they use for queue
+// traffic, and the aggregated cluster view is served at GET /cluster on
+// the ops listener.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 
 	"helios/internal/coord"
 	"helios/internal/faultpoint"
+	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/rpc"
@@ -30,8 +33,11 @@ func main() {
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "refuse appends to the updates topic once a partition's unconsumed backlog exceeds this (0 = unlimited)")
 	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
+	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "expected worker telemetry cadence (drives /cluster staleness and death detection)")
+	flightDir := flag.String("flight-dir", "", "flight-recorder capture directory (empty = captures disabled)")
+	flightKeep := flag.Int("flight-keep", 32, "flight-recorder captures retained on disk")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.append=error:injected:3 (chaos drills)")
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo, /cluster and pprof on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -41,9 +47,11 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, "broker")
 	logger.SetLevel(lv)
+	logger.KeepTail(32)
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-broker: %v", err)
 	}
+	obs.RegisterBuildInfo(obs.Default(), "helios-broker", nil)
 	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
 	if *maxIngestLag > 0 {
 		broker.SetLagBound(wire.TopicUpdates, *maxIngestLag)
@@ -52,14 +60,40 @@ func main() {
 	rpc.RegisterMetrics(obs.Default())
 	coordinator := coord.New(nil)
 	coordinator.RegisterMetrics(obs.Default(), *deadAfter)
+
+	var recorder *monitor.FlightRecorder
+	if *flightDir != "" {
+		var err error
+		recorder, err = monitor.NewFlightRecorder(*flightDir, *flightKeep, nil)
+		if err != nil {
+			log.Fatalf("helios-broker: flight recorder: %v", err)
+		}
+	}
+	collector := monitor.NewCollector(monitor.CollectorConfig{
+		Interval: *telemetryEvery,
+		DeadAfter: func() time.Duration {
+			if *deadAfter > 3*(*telemetryEvery) {
+				return *deadAfter
+			}
+			return 0 // default: 9× the telemetry interval
+		}(),
+		Registry: obs.Default(),
+		Recorder: recorder,
+		Logger:   logger,
+	})
+	collector.Start()
+	defer collector.Stop()
+
 	srv := rpc.NewServer()
 	mq.ServeBroker(broker, srv)
 	coord.ServeRPC(coordinator, srv)
+	monitor.ServeRPC(collector, srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("helios-broker: %v", err)
 	}
-	ops, err := obs.ServeDefault(*opsAddr)
+	ops, err := obs.ServeDefault(*opsAddr,
+		obs.Route{Pattern: "GET /cluster", Handler: collector.Handler()})
 	if err != nil {
 		log.Fatalf("helios-broker: ops listener: %v", err)
 	}
@@ -67,12 +101,30 @@ func main() {
 	if ops != nil {
 		logger.Info(0, "mq.lifecycle", "ops listener up", "addr", ops.Addr())
 	}
+
+	// The broker reports its own telemetry straight into the collector it
+	// hosts, so /cluster shows the coordinator process alongside the
+	// workers.
+	reporter := monitor.NewReporter(monitor.ReporterConfig{
+		Name:     "broker",
+		Kind:     "broker",
+		Every:    *telemetryEvery,
+		Registry: obs.Default(),
+		Tracer:   obs.DefaultTracer(),
+		LogTail:  logger.Tail,
+		Sink:     collector,
+		Logger:   logger,
+	})
+	reporter.Start()
+	defer reporter.Stop()
 	logger.Info(0, "mq.lifecycle", "broker serving", "addr", addr, "dir", *dir, "retain", *retain)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Info(0, "mq.lifecycle", "shutting down")
+	reporter.Stop()
+	collector.Stop()
 	srv.Close()
 	if err := broker.Close(); err != nil {
 		logger.Error(0, "mq.lifecycle", "broker close failed", "err", err)

@@ -15,15 +15,18 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"helios/internal/coord"
 	"helios/internal/deploy"
 	"helios/internal/faultpoint"
 	"helios/internal/frontend"
+	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
 )
@@ -33,6 +36,8 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
 	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, partition-major (see replicas)")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	id := flag.Int("id", 0, "this frontend's index (names it in the cluster view)")
+	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "cluster telemetry snapshot interval (0 = disabled)")
 	probeEvery := flag.Duration("probe-every", time.Second, "health-probe interval for unhealthy serving replicas")
 	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end deadline budget per sampling request (0 = config's overload.requestTimeoutMs, or none)")
 	maxInflight := flag.Int("max-inflight", 0, "admitted concurrent sampling requests (0 = config's overload.maxInflight, or unlimited)")
@@ -53,10 +58,12 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, "frontend")
 	logger.SetLevel(lv)
+	logger.KeepTail(32)
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-frontend: %v", err)
 	}
+	obs.RegisterBuildInfo(obs.Default(), "helios-frontend", nil)
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-frontend: %v", err)
@@ -109,6 +116,22 @@ func main() {
 	defer ops.Close()
 	if ops != nil {
 		log.Printf("helios-frontend: ops on %s", ops.Addr())
+	}
+	if *telemetryEvery > 0 {
+		// The frontend owns no partition; its snapshots carry the gateway
+		// SLO burn and worst traces the flight recorder captures on.
+		reporter := monitor.NewReporter(monitor.ReporterConfig{
+			Name:     fmt.Sprintf("frontend-%d", *id),
+			Kind:     string(coord.KindFrontend),
+			Every:    *telemetryEvery,
+			Registry: obs.Default(),
+			Tracer:   obs.DefaultTracer(),
+			LogTail:  logger.Tail,
+			Sink:     monitor.NewClient(bus.Client(), 0),
+			Logger:   logger,
+		})
+		reporter.Start()
+		defer reporter.Stop()
 	}
 
 	log.Printf("helios-frontend: HTTP on %s routing to %d serving workers", *listen, len(addrs))

@@ -20,6 +20,7 @@ import (
 	"helios/internal/coord"
 	"helios/internal/deploy"
 	"helios/internal/faultpoint"
+	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/rpc"
@@ -37,6 +38,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
+	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "cluster telemetry snapshot interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.client.write=error (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -48,9 +50,11 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, "sampler")
 	logger.SetLevel(lv)
+	logger.KeepTail(32)
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-sampler: %v", err)
 	}
+	obs.RegisterBuildInfo(obs.Default(), "helios-sampler", nil)
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-sampler: %v", err)
@@ -118,6 +122,20 @@ func main() {
 				}
 			}
 		}()
+	}
+	if *telemetryEvery > 0 {
+		reporter := monitor.NewReporter(monitor.ReporterConfig{
+			Name:     fmt.Sprintf("sampler-%d", *id),
+			Kind:     string(coord.KindSampler),
+			Every:    *telemetryEvery,
+			Registry: obs.Default(),
+			Tracer:   obs.DefaultTracer(),
+			LogTail:  logger.Tail,
+			Sink:     monitor.NewClient(bus.Client(), 0),
+			Logger:   logger,
+		})
+		reporter.Start()
+		defer reporter.Stop()
 	}
 	if *checkpoint != "" {
 		go func() {

@@ -20,6 +20,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/faultpoint"
 	"helios/internal/kvstore"
+	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/rpc"
@@ -48,6 +49,7 @@ func main() {
 	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often the sample-queue poll position is committed to the broker")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
+	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "cluster telemetry snapshot interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. mq.fetch=error:injected:3 (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -60,10 +62,12 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, "serving")
 	logger.SetLevel(lv)
+	logger.KeepTail(32)
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
 		log.Fatalf("helios-server: %v", err)
 	}
+	obs.RegisterBuildInfo(obs.Default(), "helios-server", nil)
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		log.Fatalf("helios-server: %v", err)
@@ -133,6 +137,34 @@ func main() {
 				}
 			}
 		}()
+	}
+	if *telemetryEvery > 0 {
+		// Telemetry rides the same reconnecting broker connection as the
+		// heartbeats; a worker that cannot deliver snapshots is the one
+		// /cluster correctly shows going stale.
+		reporter := monitor.NewReporter(monitor.ReporterConfig{
+			Name:     fmt.Sprintf("server-%d", *id),
+			Kind:     string(coord.KindServer),
+			Every:    *telemetryEvery,
+			Registry: obs.Default(),
+			Tracer:   obs.DefaultTracer(),
+			LogTail:  logger.Tail,
+			Partitions: func() []monitor.PartitionStats {
+				st := w.Stats()
+				return []monitor.PartitionStats{{
+					Partition:    w.ID(),
+					Served:       st.Served,
+					SampleHits:   st.SampleHits,
+					SampleMisses: st.SampleMisses,
+					Lag:          w.Lag(),
+					StalenessNS:  st.StalenessNS,
+				}}
+			},
+			Sink:   monitor.NewClient(bus.Client(), 0),
+			Logger: logger,
+		})
+		reporter.Start()
+		defer reporter.Stop()
 	}
 	if *statsEvery > 0 {
 		go func() {

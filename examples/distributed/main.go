@@ -23,9 +23,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"helios/internal/coord"
 	"helios/internal/deploy"
 	"helios/internal/faultpoint"
 	"helios/internal/frontend"
+	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
 	"helios/internal/overload"
@@ -48,8 +50,10 @@ const clusterConfig = `{
 }`
 
 func main() {
-	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces and pprof on this address (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /cluster and pprof on this address (empty = disabled)")
 	linger := flag.Duration("linger", 0, "keep the deployment alive this long after the demo (for ops scraping)")
+	telemetryEvery := flag.Duration("telemetry-every", 500*time.Millisecond, "cluster telemetry snapshot interval (0 = disabled)")
+	flightDir := flag.String("flight-dir", "", "flight-recorder capture directory (empty = captures disabled)")
 	chaos := flag.Bool("chaos", false, "after the demo, kill and restart the broker endpoint and prove reconvergence")
 	burst := flag.Bool("burst", false, "after the demo, slow the serve path and fire a request storm to demo admission control and graceful degradation")
 	flag.Parse()
@@ -63,7 +67,27 @@ func main() {
 	// ops listener sees the whole pipeline.
 	reg := obs.Default()
 	tracer := obs.DefaultTracer()
-	ops, err := obs.ServeDefault(*opsAddr)
+
+	// The collector plays the coordinator's observability role: workers
+	// report telemetry snapshots over their broker connections and the
+	// aggregate is served at GET /cluster below.
+	var recorder *monitor.FlightRecorder
+	if *flightDir != "" {
+		recorder, err = monitor.NewFlightRecorder(*flightDir, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	collector := monitor.NewCollector(monitor.CollectorConfig{
+		Interval: *telemetryEvery,
+		Registry: reg,
+		Recorder: recorder,
+	})
+	collector.Start()
+	defer collector.Stop()
+
+	ops, err := obs.ServeDefault(*opsAddr,
+		obs.Route{Pattern: "GET /cluster", Handler: collector.Handler()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +101,7 @@ func main() {
 	broker.RegisterMetrics(reg)
 	brokerSrv := rpc.NewServer()
 	mq.ServeBroker(broker, brokerSrv)
+	monitor.ServeRPC(collector, brokerSrv)
 	brokerAddr, err := brokerSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +127,15 @@ func main() {
 		}
 		w.Start()
 		defer w.Stop()
+		if *telemetryEvery > 0 {
+			reporter := monitor.NewReporter(monitor.ReporterConfig{
+				Name: fmt.Sprintf("sampler-%d", i), Kind: string(coord.KindSampler),
+				Every: *telemetryEvery, Registry: reg, Tracer: tracer,
+				Sink: monitor.NewClient(bus.Client(), 0),
+			})
+			reporter.Start()
+			defer reporter.Stop()
+		}
 		fmt.Printf("sampling worker %d running\n", i)
 	}
 
@@ -136,6 +170,26 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
+		if *telemetryEvery > 0 {
+			reporter := monitor.NewReporter(monitor.ReporterConfig{
+				Name: fmt.Sprintf("server-%d", i), Kind: string(coord.KindServer),
+				Every: *telemetryEvery, Registry: reg, Tracer: tracer,
+				Partitions: func() []monitor.PartitionStats {
+					st := w.Stats()
+					return []monitor.PartitionStats{{
+						Partition:    w.ID(),
+						Served:       st.Served,
+						SampleHits:   st.SampleHits,
+						SampleMisses: st.SampleMisses,
+						Lag:          w.Lag(),
+						StalenessNS:  st.StalenessNS,
+					}}
+				},
+				Sink: monitor.NewClient(bus.Client(), 0),
+			})
+			reporter.Start()
+			defer reporter.Stop()
+		}
 		servingAddrs = append(servingAddrs, addr)
 		fmt.Printf("serving worker %d on %s\n", i, addr)
 	}
@@ -160,6 +214,15 @@ func main() {
 	go gwSrv.Serve(ln)
 	defer gwSrv.Close()
 	gateway := "http://" + ln.Addr().String()
+	if *telemetryEvery > 0 {
+		reporter := monitor.NewReporter(monitor.ReporterConfig{
+			Name: "frontend-0", Kind: string(coord.KindFrontend),
+			Every: *telemetryEvery, Registry: reg, Tracer: tracer,
+			Sink: monitor.NewClient(fbus.Client(), 0),
+		})
+		reporter.Start()
+		defer reporter.Stop()
+	}
 	fmt.Println("HTTP frontend on", gateway)
 
 	// Drive the system through the public HTTP gateway, exactly as an
@@ -219,6 +282,7 @@ func main() {
 		for i := 0; i < 100; i++ {
 			srv2 = rpc.NewServer()
 			mq.ServeBroker(broker, srv2)
+			monitor.ServeRPC(collector, srv2)
 			if _, err = srv2.Listen(brokerAddr); err == nil {
 				break
 			}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"helios/internal/actor"
+	"helios/internal/clock"
 	"helios/internal/graph"
 	"helios/internal/query"
 )
@@ -23,6 +24,9 @@ const (
 	KindSampler WorkerKind = "sampler"
 	// KindServer identifies serving workers.
 	KindServer WorkerKind = "server"
+	// KindFrontend identifies frontend gateways (they report telemetry,
+	// not data-plane liveness).
+	KindFrontend WorkerKind = "frontend"
 )
 
 // WorkerInfo is the registry entry for one worker.
@@ -40,6 +44,7 @@ type Coordinator struct {
 	plans   []*query.Plan
 	nextID  query.ID
 	workers map[string]*WorkerInfo
+	clk     clock.Clock
 
 	ckpt       *actor.Loop
 	ckptCancel sync.Once
@@ -47,7 +52,19 @@ type Coordinator struct {
 
 // New returns a coordinator over the given schema.
 func New(schema *graph.Schema) *Coordinator {
-	return &Coordinator{schema: schema, workers: make(map[string]*WorkerInfo)}
+	return &Coordinator{schema: schema, workers: make(map[string]*WorkerInfo), clk: clock.Wall()}
+}
+
+// WithClock replaces the liveness clock (wall by default), returning c
+// for chaining. Tests inject a fake so dead-worker detection and
+// re-admission run without sleeping. Set it before workers heartbeat.
+func (c *Coordinator) WithClock(clk clock.Clock) *Coordinator {
+	if clk != nil {
+		c.mu.Lock()
+		c.clk = clk
+		c.mu.Unlock()
+	}
+	return c
 }
 
 // Schema returns the registered schema.
@@ -107,7 +124,7 @@ func (c *Coordinator) Heartbeat(name string, kind WorkerKind) {
 		w = &WorkerInfo{Name: name, Kind: kind}
 		c.workers[name] = w
 	}
-	w.LastBeat = time.Now()
+	w.LastBeat = c.clk.Now()
 }
 
 // Workers lists registered workers sorted by name.
@@ -122,9 +139,14 @@ func (c *Coordinator) Workers() []WorkerInfo {
 	return out
 }
 
-// Dead lists workers whose last heartbeat is older than timeout.
+// Dead lists workers whose last heartbeat is older than timeout. A dead
+// worker that resumes heartbeating is re-admitted automatically — its
+// next Heartbeat refreshes LastBeat, dropping it from this list (and
+// decrementing the coord.dead_workers gauge).
 func (c *Coordinator) Dead(timeout time.Duration) []WorkerInfo {
-	cutoff := time.Now().Add(-timeout)
+	c.mu.RLock()
+	cutoff := c.clk.Now().Add(-timeout)
+	c.mu.RUnlock()
 	var dead []WorkerInfo
 	for _, w := range c.Workers() {
 		if w.LastBeat.Before(cutoff) {

@@ -1,0 +1,57 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"helios/internal/clock"
+	"helios/internal/obs"
+)
+
+// A worker that goes silent past the dead timeout and then resumes
+// heartbeating must be re-admitted in place: Dead() drops it and the
+// coord.dead_workers gauge decrements, with no operator intervention.
+func TestDeadWorkerReadmission(t *testing.T) {
+	clk := clock.NewFake()
+	c := New(nil).WithClock(clk)
+	reg := obs.NewRegistry()
+	const deadAfter = 3 * time.Second
+	c.RegisterMetrics(reg, deadAfter)
+
+	c.Heartbeat("server-0", KindServer)
+	c.Heartbeat("server-1", KindServer)
+	snap := reg.Snapshot()
+	if snap.Gauges["coord.workers"] != 2 || snap.Gauges["coord.dead_workers"] != 0 {
+		t.Fatalf("gauges after registration = %v", snap.Gauges)
+	}
+
+	// server-1 goes silent; server-0 keeps beating through the window.
+	for i := 0; i < 4; i++ {
+		clk.Advance(time.Second)
+		c.Heartbeat("server-0", KindServer)
+	}
+	dead := c.Dead(deadAfter)
+	if len(dead) != 1 || dead[0].Name != "server-1" {
+		t.Fatalf("dead = %+v, want exactly server-1", dead)
+	}
+	snap = reg.Snapshot()
+	if snap.Gauges["coord.dead_workers"] != 1 {
+		t.Fatalf("dead gauge = %d, want 1", snap.Gauges["coord.dead_workers"])
+	}
+
+	// The dead worker resumes heartbeats: re-admitted on the next beat,
+	// not quarantined — its registry entry is refreshed in place.
+	c.Heartbeat("server-1", KindServer)
+	if dead = c.Dead(deadAfter); len(dead) != 0 {
+		t.Fatalf("dead after re-admission = %+v, want none", dead)
+	}
+	snap = reg.Snapshot()
+	if snap.Gauges["coord.dead_workers"] != 0 || snap.Gauges["coord.workers"] != 2 {
+		t.Fatalf("gauges after re-admission = %v", snap.Gauges)
+	}
+	// Still the same worker, not a duplicate registration.
+	ws := c.Workers()
+	if len(ws) != 2 || ws[1].Name != "server-1" || !ws[1].LastBeat.Equal(clk.Now()) {
+		t.Fatalf("workers after re-admission = %+v", ws)
+	}
+}

@@ -1,0 +1,152 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"helios/internal/clock"
+	"helios/internal/faultpoint"
+)
+
+func TestFlightRecorderRecordListRead(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	fr, err := NewFlightRecorder(dir, 4, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := fr.Record(&Capture{
+		Reason:        "slo_burn",
+		Worker:        "frontend-0",
+		Partition:     1,
+		SLO:           "frontend.sample_latency",
+		BurnRateMilli: 90_000,
+		WorstTrace:    TraceSummary{ID: 7, Op: "sample", TotalNS: 123},
+		SlowLines:     []string{"line"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.Contains(filepath.Base(path), "slo_burn") {
+		t.Fatalf("capture path %q", path)
+	}
+	paths, err := fr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != path {
+		t.Fatalf("List = %v, want [%s]", paths, path)
+	}
+	got, err := ReadCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "slo_burn" || got.Worker != "frontend-0" || got.Partition != 1 ||
+		got.SLO != "frontend.sample_latency" || got.WorstTrace.ID != 7 {
+		t.Fatalf("capture = %+v", got)
+	}
+	if got.CapturedNS != clk.Now().UnixNano() {
+		t.Fatalf("CapturedNS = %d, want fake-clock stamp %d", got.CapturedNS, clk.Now().UnixNano())
+	}
+}
+
+func TestFlightRecorderPrunesRing(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, 3, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := fr.Record(&Capture{Reason: "worker_death"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := fr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("ring holds %d captures, want 3: %v", len(paths), paths)
+	}
+	// Oldest pruned first: the survivors are the three highest sequences.
+	if !strings.Contains(paths[0], "00000005") || !strings.Contains(paths[2], "00000007") {
+		t.Fatalf("wrong survivors: %v", paths)
+	}
+}
+
+// Sequence numbers survive a recorder restart, so a redeployed
+// coordinator never overwrites earlier evidence.
+func TestFlightRecorderSeqSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, 8, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := fr.Record(&Capture{Reason: "slo_burn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := NewFlightRecorder(dir, 8, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := fr2.Record(&Capture{Reason: "slo_burn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := fr2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != first || paths[1] != second {
+		t.Fatalf("List after reopen = %v, want [%s %s]", paths, first, second)
+	}
+}
+
+// A crash mid-write (simulated by the monitor.flight.write faultpoint)
+// leaves a torn .tmp file that List never reports, and the next capture
+// succeeds cleanly.
+func TestFlightRecorderTornWriteNeverListed(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, 8, clock.NewFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.ErrorOnce("monitor.flight.write")
+	defer faultpoint.Disarm("monitor.flight.write")
+	if _, err := fr.Record(&Capture{Reason: "slo_burn"}); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			torn++
+		}
+	}
+	if torn != 1 {
+		t.Fatalf("%d torn temp files on disk, want 1", torn)
+	}
+	paths, err := fr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("List reports torn captures: %v", paths)
+	}
+	// The recorder recovers: the next capture lands.
+	if _, err := fr.Record(&Capture{Reason: "worker_death"}); err != nil {
+		t.Fatal(err)
+	}
+	if paths, err = fr.List(); err != nil || len(paths) != 1 {
+		t.Fatalf("List after recovery = %v, %v", paths, err)
+	}
+	if got, err := ReadCapture(paths[0]); err != nil || got.Reason != "worker_death" {
+		t.Fatalf("recovered capture = %+v, %v", got, err)
+	}
+}

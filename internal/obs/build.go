@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime/debug"
+
+	"helios/internal/clock"
+)
+
+// Build/process identity gauges. The cluster view age-stamps and
+// version-stamps every worker from these, so a fleet running mixed
+// builds (mid-rollout, or a straggler that missed a deploy) is visible
+// from one /cluster scrape instead of N ssh sessions.
+
+// Version returns the binary's build identity: the VCS revision when the
+// binary was built from a checkout, the module version for a released
+// build, else "dev".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo publishes the process identity gauges on reg:
+//
+//	build.info{component=...,version=...} 1
+//	process.start_time_seconds            unix seconds at registration
+//	process.uptime_seconds                seconds since registration
+//
+// component is the binary's own name ("helios-broker", ...). clk is the
+// uptime source (nil defaults to the wall clock); tests inject a fake
+// for deterministic uptime.
+func RegisterBuildInfo(reg *Registry, component string, clk clock.Clock) {
+	if reg == nil {
+		return
+	}
+	if clk == nil {
+		clk = clock.Wall()
+	}
+	start := clk.Now()
+	//lint:allow metriclabel reason=component is the binary's compiled-in name and version its build stamp, fixed at startup, never request data
+	reg.Gauge("build.info", "component", component, "version", Version()).Set(1)
+	reg.Gauge("process.start_time_seconds").Set(start.Unix())
+	reg.GaugeFunc("process.uptime_seconds", func() int64 {
+		return int64(clk.Now().Sub(start).Seconds())
+	})
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"helios/internal/clock"
+)
+
+func TestRegisterBuildInfoGauges(t *testing.T) {
+	clk := clock.NewFake()
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "helios-test", clk)
+
+	snap := reg.Snapshot()
+	name := Name("build.info", "component", "helios-test", "version", Version())
+	if snap.Gauges[name] != 1 {
+		t.Fatalf("gauge %q = %d, want 1 (gauges: %v)", name, snap.Gauges[name], snap.Gauges)
+	}
+	if got := snap.Gauges["process.start_time_seconds"]; got != clk.Now().Unix() {
+		t.Fatalf("start_time_seconds = %d, want %d", got, clk.Now().Unix())
+	}
+	if got := snap.Gauges["process.uptime_seconds"]; got != 0 {
+		t.Fatalf("uptime at registration = %d, want 0", got)
+	}
+
+	clk.Advance(90 * time.Second)
+	snap = reg.Snapshot()
+	if got := snap.Gauges["process.uptime_seconds"]; got != 90 {
+		t.Fatalf("uptime after 90s = %d, want 90", got)
+	}
+	// Start time is fixed at registration, not re-read.
+	if got := snap.Gauges["process.start_time_seconds"]; got != clk.Now().Add(-90*time.Second).Unix() {
+		t.Fatalf("start_time_seconds drifted: %d", got)
+	}
+
+	// Nil registry is a no-op, nil clock defaults to wall.
+	RegisterBuildInfo(nil, "x", nil)
+	reg2 := NewRegistry()
+	RegisterBuildInfo(reg2, "helios-wall", nil)
+	if got := reg2.Snapshot().Gauges["process.uptime_seconds"]; got < 0 || got > 60 {
+		t.Fatalf("wall-clock uptime = %d, want small non-negative", got)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" || strings.ContainsAny(v, " \t\n") {
+		t.Fatalf("Version() = %q, want non-empty token", v)
+	}
+}

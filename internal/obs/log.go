@@ -33,6 +33,12 @@ type Logger struct {
 	clk       clock.Clock
 	min       atomic.Int32
 	buf       []byte
+
+	// tail retains the most recent emitted lines when KeepTail enabled
+	// it — the slow-log excerpt telemetry snapshots and flight-recorder
+	// captures carry.
+	tail    []string
+	tailCap int
 }
 
 // Level orders log severities.
@@ -98,6 +104,38 @@ func (l *Logger) WithClock(clk clock.Clock) *Logger {
 		l.mu.Unlock()
 	}
 	return l
+}
+
+// KeepTail retains the most recent n emitted lines in memory (0 turns
+// retention off), returning l for chaining. The tail is how a process's
+// recent slow-log lines outlive it: telemetry reporters ship it with
+// every snapshot, and flight-recorder captures persist it.
+func (l *Logger) KeepTail(n int) *Logger {
+	if l != nil {
+		l.mu.Lock()
+		l.tailCap = n
+		if n <= 0 {
+			l.tail = nil
+		} else if len(l.tail) > n {
+			l.tail = append([]string(nil), l.tail[len(l.tail)-n:]...)
+		}
+		l.mu.Unlock()
+	}
+	return l
+}
+
+// Tail returns a copy of the retained recent lines, oldest first. Nil
+// when KeepTail was never enabled (or on a nil logger).
+func (l *Logger) Tail() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.tail) == 0 {
+		return nil
+	}
+	return append([]string(nil), l.tail...)
 }
 
 // SetLevel sets the minimum emitted level.
@@ -173,6 +211,13 @@ func (l *Logger) emit(lv Level, trace uint64, stage, msg string, kv []any) {
 	l.buf = b
 	//lint:allow droppederror reason=log sink write failures are not actionable at the call site
 	_, _ = l.w.Write(b)
+	if l.tailCap > 0 {
+		l.tail = append(l.tail, string(b[:len(b)-1]))
+		if len(l.tail) > l.tailCap {
+			copy(l.tail, l.tail[len(l.tail)-l.tailCap:])
+			l.tail = l.tail[:l.tailCap]
+		}
+	}
 }
 
 // appendJSONString appends s as a JSON string literal, escaping quotes,

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -96,5 +97,51 @@ func TestParseLevel(t *testing.T) {
 	}
 	if _, ok := ParseLevel("verbose"); ok {
 		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestLoggerTailRing(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "test").KeepTail(3)
+	if l.Tail() != nil {
+		t.Fatal("tail non-nil before any line")
+	}
+	for i := 0; i < 5; i++ {
+		l.Info(0, "stage", fmt.Sprintf("line-%d", i))
+	}
+	tail := l.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail holds %d lines, want 3: %v", len(tail), tail)
+	}
+	// Oldest first, only the most recent lines survive.
+	for i, want := range []string{"line-2", "line-3", "line-4"} {
+		if !strings.Contains(tail[i], want) {
+			t.Fatalf("tail[%d] = %q, want %s", i, tail[i], want)
+		}
+	}
+	// Tail returns a copy: mutating it must not corrupt the ring.
+	tail[0] = "clobbered"
+	if got := l.Tail(); strings.Contains(got[0], "clobbered") {
+		t.Fatal("Tail aliases internal ring")
+	}
+
+	// Shrinking the cap trims in place; 0 turns retention off.
+	l.KeepTail(2)
+	if got := l.Tail(); len(got) != 2 || !strings.Contains(got[1], "line-4") {
+		t.Fatalf("tail after shrink = %v", got)
+	}
+	l.KeepTail(0)
+	if got := l.Tail(); got != nil {
+		t.Fatalf("tail after disable = %v, want nil", got)
+	}
+	l.Info(0, "stage", "dropped")
+	if got := l.Tail(); got != nil {
+		t.Fatalf("disabled tail retained a line: %v", got)
+	}
+
+	// Nil logger: both are safe no-ops.
+	var nilLogger *Logger
+	if nilLogger.KeepTail(4) != nil || nilLogger.Tail() != nil {
+		t.Fatal("nil logger tail methods not no-ops")
 	}
 }

@@ -21,9 +21,19 @@ import (
 // internals, so an ops scrape cannot contend with the serving hot path
 // beyond the atomic loads of a snapshot.
 
+// Route mounts an extra endpoint on the ops mux — how a binary with
+// host-specific surfaces (the coordinator's GET /cluster) extends the
+// shared listener without the obs package knowing about them.
+type Route struct {
+	// Pattern is an http.ServeMux pattern (e.g. "GET /cluster").
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the ops mux over reg and tracer. Either may be nil, in
-// which case the corresponding endpoint serves an empty document.
-func Handler(reg *Registry, tracer *Tracer) http.Handler {
+// which case the corresponding endpoint serves an empty document. extra
+// routes are mounted after the standard ones.
+func Handler(reg *Registry, tracer *Tracer, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		var snap Snapshot
@@ -83,6 +93,11 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		if rt.Handler != nil {
+			mux.Handle(rt.Pattern, rt.Handler)
+		}
+	}
 	return mux
 }
 
@@ -94,12 +109,12 @@ type Server struct {
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves the ops endpoints in
 // the background until Close.
-func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+func Serve(addr string, reg *Registry, tracer *Tracer, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{http: &http.Server{Handler: Handler(reg, tracer)}, ln: ln}
+	s := &Server{http: &http.Server{Handler: Handler(reg, tracer, extra...)}, ln: ln}
 	// http.Server.Serve returns when Close tears the listener down; the
 	// goroutine cannot leak past Close.
 	go func() {
@@ -113,11 +128,11 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 // process-wide registry and tracer on addr. An empty addr returns a nil
 // server (whose Close is a no-op), so a binary wires the flag in two
 // lines without branching on whether ops were requested.
-func ServeDefault(addr string) (*Server, error) {
+func ServeDefault(addr string, extra ...Route) (*Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
-	return Serve(addr, Default(), DefaultTracer())
+	return Serve(addr, Default(), DefaultTracer(), extra...)
 }
 
 // Addr returns the bound listen address.

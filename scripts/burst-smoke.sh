@@ -10,14 +10,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 log=$(mktemp)
+# CI sets HELIOS_FLIGHT_DIR so flight-recorder captures survive a failed
+# run as an uploadable artifact; locally we use (and clean up) a temp dir.
+flightdir=${HELIOS_FLIGHT_DIR:-$(mktemp -d)}
+mkdir -p "$flightdir"
 pid=""
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
   rm -f "$log" "${log}.body"
+  [ -z "${HELIOS_FLIGHT_DIR:-}" ] && rm -rf "$flightdir" || true
 }
 trap cleanup EXIT
 
-go run ./examples/distributed -burst -ops-addr 127.0.0.1:0 -linger 60s >"$log" 2>&1 &
+go run ./examples/distributed -burst -ops-addr 127.0.0.1:0 -linger 60s \
+  -telemetry-every 250ms -flight-dir "$flightdir" >"$log" 2>&1 &
 pid=$!
 
 # Wait for the full drill: converge, storm, drain, recover.

@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
 # obs-smoke: boots the examples/distributed deployment with an ops
 # listener, waits for the demo workload to flow through the pipeline, then
-# scrapes /metrics, /traces and /slo and asserts the whole attribution
-# chain is present — stage histograms with trace exemplars, recorded
-# spans, and rolling SLO burn state — the end-to-end check that the
-# observability wiring survives from worker construction to HTTP scrape.
-# Run via `make obs-smoke`.
+# scrapes /metrics, /traces, /slo and /cluster and asserts the whole
+# attribution chain is present — stage histograms with trace exemplars,
+# recorded spans, rolling SLO burn state, and the federated cluster view
+# with every worker and a populated partition heat table — the end-to-end
+# check that the observability wiring survives from worker construction
+# to HTTP scrape. Run via `make obs-smoke`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 log=$(mktemp)
+# CI sets HELIOS_FLIGHT_DIR so flight-recorder captures survive a failed
+# run as an uploadable artifact; locally we use (and clean up) a temp dir.
+flightdir=${HELIOS_FLIGHT_DIR:-$(mktemp -d)}
+mkdir -p "$flightdir"
 pid=""
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
   rm -f "$log" "${log}.body"
+  [ -z "${HELIOS_FLIGHT_DIR:-}" ] && rm -rf "$flightdir" || true
 }
 trap cleanup EXIT
 
-go run ./examples/distributed -ops-addr 127.0.0.1:0 -linger 60s >"$log" 2>&1 &
+go run ./examples/distributed -ops-addr 127.0.0.1:0 -linger 60s \
+  -telemetry-every 250ms -flight-dir "$flightdir" >"$log" 2>&1 &
 pid=$!
 
 # Wait for the demo to finish driving traffic (so every metric we assert on
@@ -98,6 +105,43 @@ grep -q '"frontend.sample_latency"' "${log}.body" || {
 }
 grep -q '"burn_rate"' "${log}.body" || {
   echo "obs-smoke: /slo entries carry no burn rate" >&2
+  exit 1
+}
+
+# The federated cluster view: every worker in the deployment reports
+# telemetry, and the per-partition heat table is populated from it. The
+# demo workload can finish before the first telemetry tick fires, so
+# poll until federation converges (the demo lingers long enough).
+cluster_ok() {
+  for worker in sampler-0 sampler-1 server-0 server-1 frontend-0; do
+    grep -q "\"$worker\"" "${log}.body" || return 1
+  done
+  grep -q '"heat_milli"' "${log}.body" || return 1
+}
+for _ in $(seq 1 150); do
+  fetch "http://$addr/cluster"
+  if cluster_ok; then break; fi
+  sleep 0.2
+done
+cluster_ok || {
+  echo "obs-smoke: /cluster never converged to all workers + heat table:" >&2
+  cat "${log}.body" >&2
+  exit 1
+}
+grep -q '"skew_milli"' "${log}.body" || {
+  echo "obs-smoke: /cluster has no skew score" >&2
+  exit 1
+}
+
+# The heat/skew gauges federate back into the coordinator's /metrics.
+fetch "http://$addr/metrics"
+grep -q "cluster.partition_heat" "${log}.body" || {
+  echo "obs-smoke: /metrics has no partition heat gauges:" >&2
+  cat "${log}.body" >&2
+  exit 1
+}
+grep -q "cluster.skew_score" "${log}.body" || {
+  echo "obs-smoke: /metrics has no skew score gauge" >&2
   exit 1
 }
 
