@@ -8,7 +8,7 @@
 //	helios-bench [flags] <experiment>
 //
 // Experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency all
+// fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency batch all
 //
 // The extra "cluster" subcommand is an operator dump, not an experiment:
 // it scrapes a live coordinator's GET /cluster endpoint (-cluster-url)
@@ -72,7 +72,7 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: helios-bench [flags] <experiment>")
-		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 table2 fig4a fig4b fig4c fig4d fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 raw alloc latency batch all")
 		fmt.Fprintln(os.Stderr, "operator dump: cluster -cluster-url <ops-addr> [-flight-dir <dir>]")
 		os.Exit(2)
 	}
@@ -146,6 +146,8 @@ func main() {
 			return func(c experiments.Config) error { _, err := f(c); return err }
 		case func(experiments.Config) ([]experiments.LatencyPoint, error):
 			return func(c experiments.Config) error { _, err := f(c); return err }
+		case func(experiments.Config) ([]experiments.BatchPoint, error):
+			return func(c experiments.Config) error { _, err := f(c); return err }
 		default:
 			panic("helios-bench: unhandled experiment signature")
 		}
@@ -170,6 +172,7 @@ func main() {
 		{"raw", wrap(experiments.ReadAfterWrite)},
 		{"alloc", wrap(experiments.Alloc)},
 		{"latency", wrap(experiments.Latency)},
+		{"batch", wrap(experiments.Batch)},
 	}
 
 	name := strings.ToLower(flag.Arg(0))

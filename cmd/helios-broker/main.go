@@ -31,6 +31,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
 	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	batchMax := flag.Int("batch-max", 0, "largest record batch accepted by one AppendBatch RPC (0 = 4096 default)")
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "refuse appends to the updates topic once a partition's unconsumed backlog exceeds this (0 = unlimited)")
 	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
 	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "expected worker telemetry cadence (drives /cluster staleness and death detection)")
@@ -52,7 +53,7 @@ func main() {
 		log.Fatalf("helios-broker: %v", err)
 	}
 	obs.RegisterBuildInfo(obs.Default(), "helios-broker", nil)
-	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain})
+	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain, MaxAppendBatch: *batchMax})
 	if *maxIngestLag > 0 {
 		broker.SetLagBound(wire.TopicUpdates, *maxIngestLag)
 	}

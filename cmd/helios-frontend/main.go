@@ -44,6 +44,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "sampling requests queued for admission (0 = config's overload.maxQueue, or 4×max-inflight)")
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "shed ingestion once a partition's updates backlog exceeds this (0 = config's overload.maxIngestLag, or unlimited)")
 	lagProbeEvery := flag.Duration("lag-probe-every", 250*time.Millisecond, "how often to refresh the cached per-partition ingest backlog")
+	batchMax := flag.Int("batch-max", 1, "coalesce up to this many concurrent samples per serving partition into one RPC (<=1 = disabled)")
+	batchLinger := flag.Duration("batch-linger", time.Millisecond, "max time a coalesced sample waits for batchmates before the batch is sent")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.dial=error (chaos drills)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /traces, /slo and pprof on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -109,6 +111,7 @@ func main() {
 		o.MaxIngestLag = cfg.File.Overload.MaxIngestLag
 	}
 	fe.SetOverload(o)
+	fe.SetBatching(*batchMax, *batchLinger)
 	ops, err := obs.ServeDefault(*opsAddr)
 	if err != nil {
 		log.Fatalf("helios-frontend: ops listener: %v", err)

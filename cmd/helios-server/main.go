@@ -47,6 +47,7 @@ func main() {
 	serveQueue := flag.Int("serve-queue", 0, "sampling RPCs queued for admission (0 = config's overload.maxQueue, or mailbox depth)")
 	degrade := flag.Bool("degrade", false, "serve degraded (cached, staleness-tagged) results instead of shedding when saturated (config's overload.degrade also enables)")
 	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often the sample-queue poll position is committed to the broker")
+	batchMax := flag.Int("batch-max", 0, "largest sample batch accepted by one batched RPC (0 = 1024 default)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
 	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "cluster telemetry snapshot interval (0 = disabled)")
@@ -90,6 +91,7 @@ func main() {
 		MaxInflight:   pick(*serveInflight, cfg.File.Overload.MaxInflight),
 		MaxAdmitQueue: pick(*serveQueue, cfg.File.Overload.MaxQueue),
 		Degrade:       *degrade || cfg.File.Overload.Degrade,
+		MaxBatch:      *batchMax,
 		CommitEvery:   *commitEvery,
 		Metrics:       obs.Default(),
 		Tracer:        obs.DefaultTracer(),

@@ -1,0 +1,32 @@
+package codec
+
+import "sync"
+
+// maxPooledWriter caps the backing capacity a Writer may carry back into
+// the pool. A rare giant encode (a fat feature batch, a huge snapshot)
+// would otherwise pin its buffer forever and turn the pool into a leak;
+// oversized writers are dropped and the pool re-seeds from New.
+const maxPooledWriter = 1 << 20
+
+var writerPool = sync.Pool{New: func() any { return NewWriter(1024) }}
+
+// GetWriter returns a reset Writer from the package pool. The caller owns
+// it — and any slice aliasing its buffer, such as Bytes() — only until
+// PutWriter; see PutWriter for the release discipline.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. After the call the buffer may be
+// handed to any other goroutine, so nothing that aliases it (Bytes()
+// results included) may be retained: finish the write or copy the bytes
+// out first. Putting nil is a no-op, as is putting a writer whose buffer
+// grew past the retention cap.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriter {
+		return
+	}
+	writerPool.Put(w)
+}

@@ -1,0 +1,53 @@
+package codec
+
+import "testing"
+
+// TestWriterPoolReuse proves the pool actually recycles: over repeated
+// Get/Put cycles at steady state the same *Writer must come back at
+// least once (a pool that silently drops every Put would still pass the
+// alloc pins when the GC is idle).
+func TestWriterPoolReuse(t *testing.T) {
+	seen := make(map[*Writer]bool)
+	reused := 0
+	for i := 0; i < 100; i++ {
+		w := GetWriter()
+		if seen[w] {
+			reused++
+		}
+		seen[w] = true
+		w.Uvarint(uint64(i))
+		PutWriter(w)
+	}
+	if reused == 0 {
+		t.Fatal("100 Get/Put cycles never returned a pooled writer")
+	}
+}
+
+// TestGetWriterIsReset ensures a recycled writer comes back empty — a
+// stale length would splice one response's bytes into the next.
+func TestGetWriterIsReset(t *testing.T) {
+	w := GetWriter()
+	w.Raw([]byte("leftover"))
+	PutWriter(w)
+	for i := 0; i < 100; i++ {
+		g := GetWriter()
+		if g.Len() != 0 {
+			t.Fatalf("pooled writer came back with %d bytes", g.Len())
+		}
+		PutWriter(g)
+	}
+}
+
+// TestPutWriterDropsOversized keeps the pool from pinning one giant
+// response buffer forever: writers past the cap are discarded.
+func TestPutWriterDropsOversized(t *testing.T) {
+	w := NewWriter(maxPooledWriter + 1)
+	PutWriter(w) // must not panic, must not pool
+	for i := 0; i < 100; i++ {
+		g := GetWriter()
+		if cap(g.buf) > maxPooledWriter {
+			t.Fatalf("oversized writer (cap %d) was pooled", cap(g.buf))
+		}
+		PutWriter(g)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"time"
+
+	"helios/internal/cluster"
+	"helios/internal/obs"
+	"helios/internal/query"
+	"helios/internal/rpc"
+	"helios/internal/sampling"
+	"helios/internal/serving"
+	"helios/internal/workload"
+)
+
+// BatchPoint is one serve-mode row from the batching experiment: the
+// sustained query throughput of the serving RPC path with and without
+// multi-query batching.
+type BatchPoint struct {
+	// Mode is "single" (one query per RPC) or "batched" (batchSize queries
+	// per RPC frame, assembled in one actor turn).
+	Mode string
+	// QPS is sustained queries per second (batched calls count every
+	// member).
+	QPS float64
+	// Requests is completed queries; Errors is failed RPC calls.
+	Requests int64
+	Errors   int64
+}
+
+const (
+	// batchSize is the queries coalesced per batched RPC — the frontend's
+	// default -batch-max is lower; the bench uses a full batch to measure
+	// the amortization ceiling.
+	batchSize = 32
+	// batchClients is the closed-loop client count per mode, kept equal
+	// across modes so the comparison isolates per-RPC overhead.
+	batchClients = 4
+)
+
+// Batch measures the tentpole batching claim: the same serving worker,
+// behind a real RPC listener, driven closed-loop with one query per RPC
+// and then with batchSize queries per RPC. The batched mode amortizes the
+// frame round-trip, decode, actor handoff, and encode across the batch,
+// so its query throughput should be a multiple of the single mode's.
+//
+// Results are published into cfg.Metrics as flat gauges —
+//
+//	batch.qps{mode=single}
+//	batch.qps{mode=batched}
+//	batch.qps_multiple_milli
+//
+// — which scripts/perf-regression.sh diffs against the committed
+// BENCH_batch.json and gates at a 2× floor (qps_multiple_milli >= 2000).
+func Batch(cfg Config) ([]BatchPoint, error) {
+	cfg = cfg.Defaults()
+	spec := workload.INTER().Scale(cfg.Scale)
+	// A light one-hop query: the experiment measures per-RPC overhead
+	// (framing, syscalls, actor handoff), which the default 25×10 two-hop
+	// query would drown in K-hop assembly cost. Interactive point lookups
+	// are exactly the requests coalescing is for.
+	spec.QueryHops = []workload.QueryHopSpec{{Edge: "Has", Fanout: 8}}
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	q, err := gen.BuildQuery(sampling.TopK)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	// One sampler, one server: the experiment measures per-RPC overhead on
+	// one serve path, not cluster scaling.
+	c, err := cluster.NewLocal(cluster.LocalConfig{
+		Samplers: 1,
+		Servers:  1,
+		Schema:   gen.Schema(),
+		Queries:  []query.Query{q},
+		Seed:     cfg.Seed,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if _, err := workload.ReplayAll(gen, c.Ingest); err != nil {
+		return nil, err
+	}
+	if err := c.WaitQuiesce(5 * time.Minute); err != nil {
+		return nil, err
+	}
+
+	// Real RPC boundary: the serving worker behind a TCP listener, so both
+	// modes pay genuine framing, syscalls, and connection multiplexing.
+	srv := rpc.NewServer()
+	serving.ServeRPC(c.Servers[0], srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client, err := serving.DialServing(addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	pick := seedPicker(gen, cfg.Seed)
+
+	single := workload.RunClosedLoop(batchClients, cfg.Duration, func(int) error {
+		_, err := client.SampleBudget(0, pick(), 0, 0)
+		return err
+	})
+
+	// Per-client item slices are reused across calls so the client side of
+	// the batched mode doesn't allocate its way out of the comparison.
+	itemsByClient := make([][]serving.BatchItem, batchClients)
+	for i := range itemsByClient {
+		itemsByClient[i] = make([]serving.BatchItem, batchSize)
+	}
+	batched := workload.RunClosedLoop(batchClients, cfg.Duration, func(client_ int) error {
+		items := itemsByClient[client_]
+		for i := range items {
+			items[i] = serving.BatchItem{Query: 0, Seed: pick()}
+		}
+		_, err := client.SampleBatch(items, 0)
+		return err
+	})
+
+	points := []BatchPoint{
+		{Mode: "single", QPS: single.QPS, Requests: single.Requests, Errors: single.Errors},
+		{Mode: "batched", QPS: batched.QPS * batchSize, Requests: batched.Requests * batchSize, Errors: batched.Errors},
+	}
+	multiple := ratio(points[1].QPS, points[0].QPS)
+	cfg.printf("Batch: serving RPC throughput, %d clients, batch=%d\n", batchClients, batchSize)
+	cfg.printf("%-10s %12s %12s %8s\n", "mode", "qps", "requests", "errors")
+	for _, p := range points {
+		cfg.printf("%-10s %12.0f %12d %8d\n", p.Mode, p.QPS, p.Requests, p.Errors)
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("batch.qps", "mode", p.Mode).Set(int64(p.QPS))
+		}
+	}
+	cfg.printf("%-10s %11.2fx\n", "multiple", multiple)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("batch.qps_multiple_milli").Set(int64(multiple * 1000))
+	}
+	return points, nil
+}

@@ -1,0 +1,249 @@
+package frontend
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"helios/internal/deploy"
+	"helios/internal/faultpoint"
+	"helios/internal/graph"
+	"helios/internal/mq"
+	"helios/internal/obs"
+	"helios/internal/query"
+	"helios/internal/rpc"
+	"helios/internal/serving"
+)
+
+// captureLogger is a mutex-guarded log sink for asserting on emitted
+// lines.
+type captureLogger struct {
+	*obs.Logger
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func newCaptureLogger() *captureLogger {
+	c := &captureLogger{}
+	c.Logger = obs.NewLogger(lockedWriter{c}, "frontend")
+	return c
+}
+
+type lockedWriter struct{ c *captureLogger }
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	return w.c.buf.Write(p)
+}
+
+func (c *captureLogger) contains(s string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return strings.Contains(c.buf.String(), s)
+}
+
+// coalesceConfig is a single-partition deployment so every request lands
+// in the same batcher.
+const coalesceConfig = `{
+  "samplers": 1,
+  "servers": 1,
+  "vertexTypes": ["User", "Item"],
+  "edgeTypes": [
+    {"name": "Click", "src": "User", "dst": "Item"}
+  ],
+  "queries": [
+    "g.V('User').outV('Click').sample(2).by('TopK')"
+  ]
+}`
+
+// newCoalesceFrontend wires an in-process broker, one serving worker
+// behind a real RPC listener, and a frontend pointed at it.
+func newCoalesceFrontend(t *testing.T) *Frontend {
+	t.Helper()
+	cfg, err := deploy.Parse([]byte(coalesceConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := mq.NewBroker(mq.Options{})
+	t.Cleanup(func() { broker.Close() })
+	w, err := serving.New(serving.Config{ID: 0, NumServers: 1, Plans: cfg.Plans, Broker: broker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	t.Cleanup(w.Stop)
+	srv := rpc.NewServer()
+	serving.ServeRPC(w, srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	fe, err := New(cfg, broker, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fe.Close)
+	return fe
+}
+
+// sampleCalls reads the lone replica client's issued-call counter — the
+// RPC-frame count the coalescing assertions key on.
+func sampleCalls(fe *Frontend) int64 {
+	return fe.servers[0][0].client.RPC().Calls.Value()
+}
+
+// TestCoalescingConcurrent releases N concurrent Samples into one
+// partition with coalescing on and asserts (a) every request gets its own
+// exact result back — the seed layer must echo that request's seed — and
+// (b) the requests rode in well under N RPC frames. Runs under -race in
+// CI, which is the point: the batcher's pending list and timer are hit
+// from every goroutine at once.
+func TestCoalescingConcurrent(t *testing.T) {
+	fe := newCoalesceFrontend(t)
+	fe.SetBatching(8, 5*time.Millisecond)
+	baseline := runtime.NumGoroutine()
+	before := sampleCalls(fe)
+
+	const n = 32
+	gate := make(chan struct{})
+	errs := make([]error, n)
+	seeds := make([]graph.VertexID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			seed := graph.VertexID(i + 1)
+			res, err := fe.Sample(query.ID(0), seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			seeds[i] = res.Layers[0][0]
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := graph.VertexID(i + 1); seeds[i] != want {
+			t.Fatalf("request %d got seed layer %d, want %d — batch fan-out crossed wires", i, seeds[i], want)
+		}
+	}
+	frames := sampleCalls(fe) - before
+	if frames >= n/2 {
+		t.Fatalf("%d concurrent samples used %d RPC frames — no coalescing happened", n, frames)
+	}
+	if frames < 1 {
+		t.Fatalf("impossible frame count %d", frames)
+	}
+
+	// Leak check: once the batch drained, no flusher or fan-out goroutine
+	// may linger.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines grew after drain: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBatchDeadlineIsMemberMinimum stalls the serve path and flushes a
+// batch whose members hold a short and a long deadline. The batch RPC
+// must cut off at the SHORT member's deadline — the batch-wide deadline
+// is the minimum, so a short-deadline member is never held open to its
+// batchmates' longer budgets.
+func TestBatchDeadlineIsMemberMinimum(t *testing.T) {
+	fe := newCoalesceFrontend(t)
+	fe.SetBatching(8, time.Millisecond)
+	faultpoint.Delay("serving.sample", -1, 2*time.Second)
+	defer faultpoint.Reset()
+
+	b := fe.batchers[0]
+	now := fe.clk.Now()
+	short := &pendingSample{
+		item:     serving.BatchItem{Query: 0, Seed: 1},
+		deadline: now.Add(100 * time.Millisecond),
+		done:     make(chan sampleOutcome, 1),
+	}
+	long := &pendingSample{
+		item:     serving.BatchItem{Query: 0, Seed: 2},
+		deadline: now.Add(30 * time.Second),
+		done:     make(chan sampleOutcome, 1),
+	}
+	start := time.Now()
+	b.flush([]*pendingSample{short, long})
+	out := <-short.done
+	elapsed := time.Since(start)
+	if !errors.Is(out.err, rpc.ErrDeadlineExceeded) {
+		t.Fatalf("short member: err=%v, want deadline exceeded", out.err)
+	}
+	// Well under the 2s stall and the long member's 30s: the short member
+	// bounded the whole batch.
+	if elapsed > time.Second {
+		t.Fatalf("batch ran %v — the short member's 100ms deadline did not bound it", elapsed)
+	}
+	if out := <-long.done; out.err == nil {
+		t.Fatal("long member should share the batch-wide deadline failure")
+	}
+}
+
+// TestBatchExpiredMemberFailsLocally checks that a member whose deadline
+// passed while coalescing is failed in the frontend without consuming a
+// slot in the RPC — an all-expired batch sends no frame at all.
+func TestBatchExpiredMemberFailsLocally(t *testing.T) {
+	fe := newCoalesceFrontend(t)
+	fe.SetBatching(8, time.Millisecond)
+	b := fe.batchers[0]
+	before := sampleCalls(fe)
+	expired := &pendingSample{
+		item:     serving.BatchItem{Query: 0, Seed: 1},
+		deadline: fe.clk.Now().Add(-time.Millisecond),
+		done:     make(chan sampleOutcome, 1),
+	}
+	b.flush([]*pendingSample{expired})
+	if out := <-expired.done; !errors.Is(out.err, rpc.ErrDeadlineExceeded) {
+		t.Fatalf("expired member: err=%v, want deadline exceeded", out.err)
+	}
+	if d := sampleCalls(fe) - before; d != 0 {
+		t.Fatalf("all-expired batch still sent %d RPC frames", d)
+	}
+	if fe.DeadlineExceeded.Value() == 0 {
+		t.Fatal("local expiry not counted in DeadlineExceeded")
+	}
+}
+
+// TestUntracedSampleLogsLikeTraced is the regression test for the
+// untraced serve path: Sample must emit the same failure warning the
+// traced path does (it used to return the error silently).
+func TestUntracedSampleLogsLikeTraced(t *testing.T) {
+	fe := newCoalesceFrontend(t)
+	log := newCaptureLogger()
+	fe.SetLogger(log.Logger, time.Nanosecond) // every sample is "slow"
+	if _, err := fe.Sample(query.ID(99), 1); err == nil {
+		t.Fatal("unknown query should fail")
+	}
+	if !log.contains("sample failed") {
+		t.Fatal("untraced Sample did not warn on failure")
+	}
+	if _, err := fe.Sample(query.ID(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !log.contains("slow sample") {
+		t.Fatal("untraced Sample did not feed the slow-sample log")
+	}
+}

@@ -67,6 +67,12 @@ type Frontend struct {
 	lagLoop      *actor.Loop
 	lagStop      chan struct{}
 
+	// Batching state (see SetBatching). batchers is nil while coalescing
+	// is disabled; otherwise it holds one coalescer per serving partition.
+	batchMax    int
+	batchLinger time.Duration
+	batchers    []*batcher
+
 	clk    clock.Clock
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -296,7 +302,13 @@ func (f *Frontend) unhealthyReplicas() int64 {
 // deadline (zero = none) caps the whole call: fn receives the remaining
 // budget before each attempt.
 func (f *Frontend) callReplica(seed graph.VertexID, deadline time.Time, fn func(*serving.Client, time.Duration) error) error {
-	p := f.servPart.Of(seed)
+	return f.callReplicaPart(f.servPart.Of(seed), deadline, fn)
+}
+
+// callReplicaPart is callReplica with the serving partition already
+// resolved — the batch coalescer groups requests by partition before the
+// seed is at hand for routing.
+func (f *Frontend) callReplicaPart(p int, deadline time.Time, fn func(*serving.Client, time.Duration) error) error {
 	reps := f.servers[p]
 	start := int(f.rr[p].Add(1))
 	tried := make([]bool, len(reps))
@@ -539,24 +551,12 @@ func (f *Frontend) admitSample(trace uint64) (time.Time, func(), error) {
 }
 
 // Sample routes a sampling query to a healthy replica of the serving
-// partition owning the seed (untraced). Untraced requests still feed the
-// frontend.request stage histogram and the latency SLO, so the burn rate
-// reflects all traffic, not just the traced fraction.
+// partition owning the seed (untraced). Untraced requests run the exact
+// same path as traced ones — stage histograms, the latency SLO, failover
+// accounting, failure warnings, and the slow-sample log all see them —
+// only the trace recording itself is skipped.
 func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, error) {
-	f.Requests.Inc()
-	deadline, release, err := f.admitSample(0)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	start := f.clk.Now()
-	var res *serving.Result
-	err = f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
-		var err error
-		res, err = c.SampleBudget(qid, seed, 0, budget)
-		return err
-	})
-	f.stRequest.Observe(f.clk.Now().Sub(start).Nanoseconds(), 0)
+	res, _, err := f.sampleCommon(qid, seed, 0)
 	return res, err
 }
 
@@ -565,20 +565,23 @@ func (f *Frontend) Sample(qid query.ID, seed graph.VertexID) (*serving.Result, e
 // wait, K-hop assembly, feature fetch) plus the residual RPC transport
 // time, so spans always sum to at most the end-to-end latency.
 func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Result, uint64, error) {
+	return f.sampleCommon(qid, seed, f.tracer.NewID())
+}
+
+// sampleCommon is the one serve path behind Sample and SampleTraced
+// (trace == 0 means untraced): admission, the RPC (coalesced or direct),
+// stage observation, the failure warning, span assembly, and the
+// slow-sample log are identical for both; only tracer.Record is gated on
+// a non-zero trace ID.
+func (f *Frontend) sampleCommon(qid query.ID, seed graph.VertexID, trace uint64) (*serving.Result, uint64, error) {
 	f.Requests.Inc()
-	trace := f.tracer.NewID()
 	deadline, release, err := f.admitSample(trace)
 	if err != nil {
 		return nil, trace, err
 	}
 	defer release()
 	start := f.clk.Now()
-	var res *serving.Result
-	err = f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
-		var err error
-		res, err = c.SampleBudget(qid, seed, trace, budget)
-		return err
-	})
+	res, err := f.sampleVia(qid, seed, trace, deadline)
 	total := f.clk.Now().Sub(start).Nanoseconds()
 	f.stRequest.Observe(total, trace)
 	if err != nil {
@@ -596,9 +599,11 @@ func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Res
 		spans = append(spans, obs.Span{Name: obs.StageFrontendRPC, Dur: transport})
 		f.stRPC.Observe(transport, trace)
 	}
-	f.tracer.Record(obs.Trace{
-		ID: trace, Op: "sample", Start: start.UnixNano(), Total: total, Spans: spans,
-	})
+	if trace != 0 {
+		f.tracer.Record(obs.Trace{
+			ID: trace, Op: "sample", Start: start.UnixNano(), Total: total, Spans: spans,
+		})
+	}
 	if slow := f.slowNS.Load(); slow > 0 && total >= slow && f.log.Enabled(obs.LevelInfo) {
 		worst := obs.Span{}
 		for _, s := range spans {
@@ -611,6 +616,22 @@ func (f *Frontend) SampleTraced(qid query.ID, seed graph.VertexID) (*serving.Res
 			"worst_stage", worst.Name, "worst_stage_dur", time.Duration(worst.Dur))
 	}
 	return res, trace, nil
+}
+
+// sampleVia issues the serving call: through the partition's coalescer
+// when batching is enabled, otherwise as a direct single-sample RPC with
+// replica failover.
+func (f *Frontend) sampleVia(qid query.ID, seed graph.VertexID, trace uint64, deadline time.Time) (*serving.Result, error) {
+	if bs := f.batchers; bs != nil {
+		return bs[f.servPart.Of(seed)].enqueue(qid, seed, trace, deadline)
+	}
+	var res *serving.Result
+	err := f.callReplica(seed, deadline, func(c *serving.Client, budget time.Duration) error {
+		var err error
+		res, err = c.SampleBudget(qid, seed, trace, budget)
+		return err
+	})
+	return res, err
 }
 
 // HTTP gateway.

@@ -71,6 +71,10 @@ type Options struct {
 	// SyncEvery fsyncs disk segments after this many appends; 0 defaults
 	// to 4096. Ignored for memory-only brokers.
 	SyncEvery int
+	// MaxAppendBatch caps the records one remote AppendBatch frame may
+	// carry (a bound on per-frame memory, not a local-API restriction);
+	// 0 defaults to 4096. Binaries set it via -batch-max.
+	MaxAppendBatch int
 }
 
 // Broker owns a set of topics.
@@ -101,6 +105,9 @@ type Broker struct {
 func NewBroker(opts Options) *Broker {
 	if opts.SyncEvery == 0 {
 		opts.SyncEvery = 4096
+	}
+	if opts.MaxAppendBatch == 0 {
+		opts.MaxAppendBatch = 4096
 	}
 	return &Broker{opts: opts, topics: make(map[string]*Topic), lagBounds: make(map[string]int64)}
 }
@@ -280,6 +287,52 @@ func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error
 	off, err := t.parts[partitionIdx].append(key, value)
 	if err == nil {
 		t.broker.Appended.Inc()
+	}
+	return off, err
+}
+
+// BatchRecord is one (key, value) pair of an AppendBatch call. The broker
+// takes ownership of Value, exactly as Append does; the containing slice
+// stays the caller's and may be reused after the call returns.
+type BatchRecord struct {
+	Key   uint64
+	Value []byte
+}
+
+// AppendBatch appends recs to one partition under a single partition lock
+// pass — one backpressure check, one broadcast — and returns the first
+// record's offset. The records land contiguously in slice order, so the
+// batch occupies [first, first+len(recs)).
+func (t *Topic) AppendBatch(partitionIdx int, recs []BatchRecord) (int64, error) {
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return 0, fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	if len(recs) == 0 {
+		return t.NextOffset(partitionIdx), nil
+	}
+	if st := t.broker.stAppend.Load(); st != nil {
+		start := time.Now()
+		defer func() { st.Observe(time.Since(start).Nanoseconds(), 0) }()
+	}
+	if err := faultpoint.Inject("mq.append"); err != nil {
+		return 0, err
+	}
+	// One admission decision for the whole batch: the lag bound is a
+	// coarse staleness valve, not an exact quota, so a batch is either
+	// wholly accepted or wholly shed (partial appends would leave the
+	// producer guessing which records landed).
+	if bound := t.lagBound.Load(); bound > 0 {
+		p := t.parts[partitionIdx]
+		p.mu.Lock()
+		lagged := p.committed >= 0 && p.next-p.committed >= bound
+		p.mu.Unlock()
+		if lagged {
+			return 0, ErrBackpressure
+		}
+	}
+	off, err := t.parts[partitionIdx].appendBatch(recs)
+	if err == nil {
+		t.broker.Appended.Add(int64(len(recs)))
 	}
 	return off, err
 }

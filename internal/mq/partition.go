@@ -64,6 +64,39 @@ func (p *partition) append(key uint64, value []byte) (int64, error) {
 	return rec.Offset, nil
 }
 
+// appendBatch lands recs contiguously under one lock pass: one timestamp,
+// one retention trim, one broadcast for the whole batch.
+func (p *partition) appendBatch(recs []BatchRecord) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	first := p.next
+	now := time.Now().UnixNano()
+	for _, br := range recs {
+		rec := Record{Offset: p.next, Key: br.Key, Value: br.Value, Ts: now}
+		p.records = append(p.records, rec)
+		p.next++
+		if p.seg != nil {
+			if err := p.seg.append(rec); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if retain := p.broker.opts.RetainRecords; retain > 0 && len(p.records) > 2*retain {
+		// Same amortized trim as append: grow to 2× the bound, then copy
+		// the newest retain records off the old backing array.
+		drop := len(p.records) - retain
+		kept := make([]Record, retain)
+		copy(kept, p.records[drop:])
+		p.records = kept
+		p.head += int64(drop)
+	}
+	p.cond.Broadcast()
+	return first, nil
+}
+
 // fetch returns up to max records starting at offset, blocking up to wait
 // for data. A fetch below the retained head snaps forward to the head. The
 // returned records alias the partition's retained window and must be

@@ -17,11 +17,12 @@ import (
 // Kafka sits between all stages.
 
 const (
-	methodOpenTopic = "mq.open"
-	methodAppend    = "mq.append"
-	methodFetch     = "mq.fetch"
-	methodMeta      = "mq.meta"
-	methodCommit    = "mq.commit"
+	methodOpenTopic   = "mq.open"
+	methodAppend      = "mq.append"
+	methodAppendBatch = "mq.append_batch"
+	methodFetch       = "mq.fetch"
+	methodMeta        = "mq.meta"
+	methodCommit      = "mq.commit"
 )
 
 // maxServerFetchWait caps how long one fetch RPC may park server-side.
@@ -61,6 +62,43 @@ func ServeBroker(b *Broker, srv *rpc.Server) {
 		v := make([]byte, len(val))
 		copy(v, val)
 		off, err := t.Append(part, key, v)
+		if err != nil {
+			return nil, err
+		}
+		w := codec.NewWriter(10)
+		w.Varint(off)
+		return w.Bytes(), nil
+	})
+	srv.Handle(methodAppendBatch, func(req []byte) ([]byte, error) {
+		r := codec.NewReader(req)
+		name := r.String()
+		part := int(r.Uvarint())
+		n := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > r.Remaining() {
+			return nil, codec.ErrShortBuffer
+		}
+		if max := b.opts.MaxAppendBatch; max > 0 && n > max {
+			return nil, fmt.Errorf("mq: append batch of %d exceeds broker bound %d", n, max)
+		}
+		t, ok := b.Topic(name)
+		if !ok {
+			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		recs := make([]BatchRecord, 0, n)
+		for i := 0; i < n; i++ {
+			key := r.Uvarint()
+			val := r.Bytes32()
+			v := make([]byte, len(val))
+			copy(v, val)
+			recs = append(recs, BatchRecord{Key: key, Value: v})
+		}
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		off, err := t.AppendBatch(part, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -251,6 +289,35 @@ func (t *RemoteTopic) Append(partition int, key uint64, value []byte) (int64, er
 	r := codec.NewReader(resp)
 	off := r.Varint()
 	return off, r.Err()
+}
+
+// AppendBatch implements TopicHandle: the whole batch rides one RPC frame
+// and lands under one broker lock pass. It routes through the same
+// unknown-topic healing as Append, so a broker restart mid-stream costs a
+// re-create plus one retry, not a lost batch.
+func (t *RemoteTopic) AppendBatch(partition int, recs []BatchRecord) (int64, error) {
+	if len(recs) == 0 {
+		return t.NextOffset(partition), nil
+	}
+	w := codec.GetWriter()
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	w.Uvarint(uint64(len(recs)))
+	for i := range recs {
+		w.Uvarint(recs[i].Key)
+		w.Bytes32(recs[i].Value)
+	}
+	resp, err := t.broker.call(t.name, methodAppendBatch, w.Bytes(), t.broker.timeout)
+	codec.PutWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	r := codec.NewReader(resp)
+	off := r.Varint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return off, r.Finish()
 }
 
 // AppendByKey implements TopicHandle with the same routing hash as the

@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether the race detector is on; the alloc pins
+// skip under -race because detector instrumentation allocates.
+const raceEnabled = true

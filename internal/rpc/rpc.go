@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"helios/internal/clock"
+	"helios/internal/codec"
 	"helios/internal/faultpoint"
 	"helios/internal/metrics"
 	"helios/internal/obs"
@@ -130,10 +131,24 @@ func (c Ctx) Remaining(now time.Time) time.Duration {
 // ctx.Remaining as the downstream timeout so the budget shrinks hop by hop.
 type CtxHandler func(ctx Ctx, req []byte) ([]byte, error)
 
+// BufHandler is the zero-copy handler form: the response is encoded into
+// resp, a pooled writer the server owns — it frames and recycles the
+// buffer after the response write, so the handler must not retain resp
+// (or anything aliasing its bytes) past return. req is likewise a pooled
+// read buffer released when the handler returns; retain a copy, never the
+// slice.
+type BufHandler func(ctx Ctx, req []byte, resp *codec.Writer) error
+
+// handlerEntry holds one registered handler in exactly one of its forms.
+type handlerEntry struct {
+	ctx CtxHandler
+	buf BufHandler
+}
+
 // Server serves registered handlers over TCP.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]CtxHandler
+	handlers map[string]handlerEntry
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -155,7 +170,7 @@ type Server struct {
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]CtxHandler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]handlerEntry), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a handler for method, replacing any previous one.
@@ -172,7 +187,17 @@ func (s *Server) HandleTraced(method string, h TracedHandler) {
 func (s *Server) HandleCtx(method string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = h
+	s.handlers[method] = handlerEntry{ctx: h}
+}
+
+// HandleBuf registers a buffer handler for method: the hot-path form that
+// encodes its response into a server-pooled writer, so a steady-state
+// response costs no per-call buffer allocation. See BufHandler for the
+// ownership rules.
+func (s *Server) HandleBuf(method string, h BufHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = handlerEntry{buf: h}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting. It returns
@@ -225,11 +250,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		typ, id, trace, budget, method, payload, err := readFrame(conn)
+		// Requests are read into pooled buffers: a handler only sees its
+		// payload until it returns (BufHandler doc), so the buffer recycles
+		// as soon as the response is framed.
+		typ, id, trace, budget, method, payload, fb, err := readFramePooled(conn)
 		if err != nil {
 			return
 		}
 		if typ != frameRequest {
+			putFrameBuf(fb)
 			continue // ignore stray frames
 		}
 		// The frame carries a relative budget, not an absolute instant, so
@@ -240,7 +269,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			deadline = time.Now().Add(time.Duration(budget))
 		}
 		s.mu.RLock()
-		h := s.handlers[method]
+		entry := s.handlers[method]
 		delay := s.Delay
 		s.mu.RUnlock()
 		s.Requests.Inc()
@@ -249,11 +278,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer putFrameBuf(fb)
 			if delay > 0 {
 				time.Sleep(delay)
 			}
 			ctx := Ctx{Trace: trace, Deadline: deadline}
 			var resp []byte
+			var bw *codec.Writer
 			var herr error
 			switch {
 			case ctx.Expired(time.Now()):
@@ -261,8 +292,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				// work done here would be thrown away. Fail fast instead of
 				// occupying a worker.
 				herr = ErrDeadlineExceeded
-			case h == nil:
+			case entry.ctx == nil && entry.buf == nil:
 				herr = fmt.Errorf("unknown method %q", method)
+			case entry.buf != nil:
+				bw = codec.GetWriter()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							herr = fmt.Errorf("handler panic: %v", r)
+						}
+					}()
+					herr = entry.buf(ctx, payload, bw)
+				}()
+				resp = bw.Bytes()
 			default:
 				func() {
 					defer func() {
@@ -270,8 +312,14 @@ func (s *Server) serveConn(conn net.Conn) {
 							herr = fmt.Errorf("handler panic: %v", r)
 						}
 					}()
-					resp, herr = h(ctx, payload)
+					resp, herr = entry.ctx(ctx, payload)
 				}()
+			}
+			if bw != nil {
+				// Safe to recycle only after the response write below has
+				// copied resp into its own frame buffer (deferred = after
+				// the writeMu section).
+				defer codec.PutWriter(bw)
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
@@ -352,6 +400,38 @@ func (s *Server) Close() error {
 // the caller's remaining deadline budget in nanoseconds (0 = no deadline),
 // carried only on requests; the receiver pins it to its own clock, and any
 // further hop is issued with the shrunken remainder.
+// Frame buffers recycle through a pool on both sides of the hot path:
+// writeFrame assembles every outgoing frame in one, and the server reads
+// requests into one released after the handler returns. Buffers that grew
+// past the cap are dropped rather than pinned.
+const maxPooledFrame = 1 << 20
+
+var frameBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getFrameBuf returns a pooled buffer resized to n bytes.
+func getFrameBuf(n int) *[]byte {
+	fb := frameBufs.Get().(*[]byte)
+	b := *fb
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	*fb = b[:n]
+	return fb
+}
+
+// putFrameBuf recycles a buffer from getFrameBuf. nil is a no-op.
+func putFrameBuf(fb *[]byte) {
+	if fb == nil || cap(*fb) > maxPooledFrame {
+		return
+	}
+	frameBufs.Put(fb)
+}
+
 //lint:hotpath
 func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method string, payload []byte) error {
 	if len(method) > 0xffff {
@@ -364,7 +444,8 @@ func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method st
 	if total > maxFrame {
 		return frameTooBig(total)
 	}
-	buf := make([]byte, 4+total)
+	fb := getFrameBuf(4 + total)
+	buf := *fb
 	binary.BigEndian.PutUint32(buf, uint32(total))
 	buf[4] = typ
 	binary.BigEndian.PutUint64(buf[5:], id)
@@ -374,9 +455,35 @@ func writeFrame(w io.Writer, typ byte, id, trace uint64, budget int64, method st
 	copy(buf[31:], method)
 	copy(buf[31+len(method):], payload)
 	_, err := w.Write(buf)
+	putFrameBuf(fb)
 	return err
 }
 
+// parseFrame splits a frame body (everything after the length prefix)
+// into its fields. method and payload alias buf.
+//
+//lint:hotpath
+func parseFrame(buf []byte) (typ byte, id, trace uint64, budget int64, method string, payload []byte, err error) {
+	typ = buf[0]
+	id = binary.BigEndian.Uint64(buf[1:])
+	trace = binary.BigEndian.Uint64(buf[9:])
+	budget = int64(binary.BigEndian.Uint64(buf[17:]))
+	if budget < 0 {
+		budget = 0
+	}
+	mlen := int(binary.BigEndian.Uint16(buf[25:]))
+	if 27+mlen > len(buf) {
+		err = errBadMethodLen
+		return
+	}
+	method = string(buf[27 : 27+mlen])
+	payload = buf[27+mlen:]
+	return
+}
+
+// readFrame reads one frame into a fresh buffer. The client read loop uses
+// it because response payloads escape to callers with no release point.
+//
 //lint:hotpath
 func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method string, payload []byte, err error) {
 	var hdr [4]byte
@@ -392,20 +499,35 @@ func readFrame(r io.Reader) (typ byte, id, trace uint64, budget int64, method st
 	if _, err = io.ReadFull(r, buf); err != nil {
 		return
 	}
-	typ = buf[0]
-	id = binary.BigEndian.Uint64(buf[1:])
-	trace = binary.BigEndian.Uint64(buf[9:])
-	budget = int64(binary.BigEndian.Uint64(buf[17:]))
-	if budget < 0 {
-		budget = 0
-	}
-	mlen := int(binary.BigEndian.Uint16(buf[25:]))
-	if 27+mlen > int(total) {
-		err = errBadMethodLen
+	return parseFrame(buf)
+}
+
+// readFramePooled reads one frame into a pooled buffer. method and
+// payload alias the buffer, which stays live until the caller releases fb
+// with putFrameBuf; fb is nil (nothing to release) on error.
+//
+//lint:hotpath
+func readFramePooled(r io.Reader) (typ byte, id, trace uint64, budget int64, method string, payload []byte, fb *[]byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return
 	}
-	method = string(buf[27 : 27+mlen])
-	payload = buf[27+mlen:]
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 27 || total > maxFrame {
+		err = badFrameLen(total)
+		return
+	}
+	fb = getFrameBuf(int(total))
+	if _, err = io.ReadFull(r, *fb); err != nil {
+		putFrameBuf(fb)
+		fb = nil
+		return
+	}
+	typ, id, trace, budget, method, payload, err = parseFrame(*fb)
+	if err != nil {
+		putFrameBuf(fb)
+		fb = nil
+	}
 	return
 }
 

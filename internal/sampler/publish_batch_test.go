@@ -1,0 +1,162 @@
+package sampler
+
+import (
+	"testing"
+	"time"
+
+	"helios/internal/graph"
+	"helios/internal/mq"
+	"helios/internal/query"
+	"helios/internal/wire"
+)
+
+func newBatchingWorker(t *testing.T, b *mq.Broker, batch int, linger time.Duration) *Worker {
+	t.Helper()
+	s, _ := testSchema()
+	w, err := New(Config{
+		ID: 0, NumSamplers: 1, NumServers: 1,
+		Plans:         []*query.Plan{testPlan(t, s)},
+		Schema:        s,
+		Broker:        b,
+		Seed:          1,
+		PublishBatch:  batch,
+		PublishLinger: linger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// waitPublishDepth polls until the worker reports the wanted publish
+// backlog (mailbox depth plus buffered batch records).
+func waitPublishDepth(t *testing.T, w *Worker, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Stats().PublishDepth == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("publish depth %d, want %d", w.Stats().PublishDepth, want)
+}
+
+// waitNextOffset polls until the partition's next offset reaches want.
+func waitNextOffset(t *testing.T, topic mq.TopicHandle, part int, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if topic.NextOffset(part) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("next offset %d, want %d", topic.NextOffset(part), want)
+}
+
+// TestPublishSizeFlush: with linger effectively disabled, records below
+// the batch size stay buffered (counted in PublishDepth, nothing on the
+// topic) and the batch-size'th record flushes the whole buffer at once.
+func TestPublishSizeFlush(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newBatchingWorker(t, b, 3, time.Hour)
+	w.Start()
+	defer w.Stop()
+	topic, err := b.OpenTopic("test.batch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 1, payload: []byte("a")})
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 2, payload: []byte("b")})
+	waitPublishDepth(t, w, 2)
+	if off := topic.NextOffset(0); off != 0 {
+		t.Fatalf("partial batch flushed early: next offset %d", off)
+	}
+
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 3, payload: []byte("c")})
+	waitNextOffset(t, topic, 0, 3)
+	waitPublishDepth(t, w, 0)
+
+	cons := topic.OpenConsumer(0, 0)
+	recs, err := cons.Poll(10, time.Second)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("poll: %d records, err %v", len(recs), err)
+	}
+	for i, r := range recs {
+		if r.Offset != int64(i) || r.Key != uint64(i+1) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+// TestPublishLingerFlush: a lone record below the batch size must still
+// reach the topic via the linger flusher, bounding publish latency.
+func TestPublishLingerFlush(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newBatchingWorker(t, b, 100, 5*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+	topic, err := b.OpenTopic("test.batch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 9, payload: []byte("solo")})
+	waitNextOffset(t, topic, 0, 1)
+	waitPublishDepth(t, w, 0)
+}
+
+// TestPublishStopFlushes: Stop must synchronously flush buffered records
+// that neither the size trigger nor the linger timer got to, so no
+// published data is lost on clean shutdown.
+func TestPublishStopFlushes(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newBatchingWorker(t, b, 100, time.Hour)
+	w.Start()
+	topic, err := b.OpenTopic("test.batch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 1, payload: []byte("a")})
+	w.publish.SendTo(0, outMsg{topic: topic, partition: 0, key: 2, payload: []byte("b")})
+	waitPublishDepth(t, w, 2)
+	if off := topic.NextOffset(0); off != 0 {
+		t.Fatalf("buffered records flushed early: next offset %d", off)
+	}
+	w.Stop()
+	if off := topic.NextOffset(0); off != 2 {
+		t.Fatalf("Stop lost buffered records: next offset %d, want 2", off)
+	}
+}
+
+// TestPublishBatchEndToEnd: the full update→sample→publish protocol must
+// behave identically with batching on — a feature refresh for a
+// subscribed seed still reaches the serving partition.
+func TestPublishBatchEndToEnd(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newBatchingWorker(t, b, 4, 2*time.Millisecond)
+	w.Start()
+	defer w.Stop()
+
+	ingestEdge(t, b, 1, graph.Edge{Src: 1, Dst: 2, Type: 0, Ts: 1})
+	drainQuiesce(t, b, w)
+	_, off := drainQueue(t, b, 0)
+
+	ingestVertex(t, b, 1, graph.Vertex{ID: 1, Type: 0, Feature: []float32{1, 2}})
+	drainQuiesce(t, b, w)
+	msgs, _ := drainQueue(t, b, off)
+	found := false
+	for _, m := range msgs {
+		if m.Kind == wire.KindFeatureUpdate && m.Vertex == 1 && len(m.Feature) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("feature update not forwarded with publish batching on: %v", msgs)
+	}
+}

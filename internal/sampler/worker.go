@@ -66,6 +66,15 @@ type Config struct {
 	// The committed updates offset is the lag signal the frontend and
 	// broker use for ingestion backpressure; 0 defaults to 100ms.
 	CommitEvery time.Duration
+	// PublishBatch coalesces outbound queue messages into mq.AppendBatch
+	// calls of up to this many records per (topic, partition) — one broker
+	// operation (one RPC frame, remotely) per batch instead of per record.
+	// <= 1 publishes each message individually (the default).
+	PublishBatch int
+	// PublishLinger bounds how long a partial publish batch may sit
+	// waiting for company before a background flush; 0 defaults to 2ms
+	// when PublishBatch > 1.
+	PublishLinger time.Duration
 	// Clock is the time source for touch stamps and TTL sweeps; nil
 	// defaults to the wall clock. Tests inject a fake so expiry and
 	// recovery are deterministic (no sleeping), and the walltime analyzer
@@ -101,6 +110,9 @@ func (c *Config) fill() error {
 	}
 	if c.CommitEvery <= 0 {
 		c.CommitEvery = 100 * time.Millisecond
+	}
+	if c.PublishBatch > 1 && c.PublishLinger <= 0 {
+		c.PublishLinger = 2 * time.Millisecond
 	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
@@ -161,6 +173,14 @@ type Worker struct {
 	startUpd, startSubs int64
 	sampling            *actor.Pool[event]
 	publish             *actor.Pool[outMsg]
+	// Publish batching state (PublishBatch > 1): per-publish-actor batch
+	// buffers (index = actor worker), the linger flusher, and a pending
+	// count so Stats and quiescence checks see buffered-but-unflushed
+	// records.
+	pubBufs      []map[pubKey]*pubBuf
+	pubFlusher   *actor.Loop
+	pubFlushStop chan struct{}
+	pubPending   atomic.Int64
 	pollers             *actor.Loop
 	sweeper             *actor.Loop
 	sweepStop           chan struct{}
@@ -221,12 +241,29 @@ const (
 )
 
 // outMsg is the publisher pool's message type: an encoded wire message
-// bound for one partition of one topic.
+// bound for one partition of one topic, or (flush set) a linger-flush
+// sentinel telling the actor to drain its private batch buffers.
 type outMsg struct {
 	topic     mq.TopicHandle
 	partition int
 	key       uint64
 	payload   []byte
+	flush     bool
+}
+
+// pubKey addresses one publish-batch buffer: records batch per
+// destination partition, never across destinations.
+type pubKey struct {
+	topic     mq.TopicHandle
+	partition int
+}
+
+// pubBuf accumulates one destination's pending records. Owned by exactly
+// one publish actor (worker-index-private state), so no locking.
+type pubBuf struct {
+	topic     mq.TopicHandle
+	partition int
+	recs      []mq.BatchRecord
 }
 
 // New assembles a worker. Topics are created if absent. Call Start to begin
@@ -300,6 +337,26 @@ func (w *Worker) Start() {
 		return
 	}
 	w.publish = actor.NewPool("publish", w.cfg.PublishThreads, w.cfg.MailboxDepth, w.handlePublish)
+	if w.cfg.PublishBatch > 1 {
+		w.pubBufs = make([]map[pubKey]*pubBuf, w.publish.Workers())
+		for i := range w.pubBufs {
+			w.pubBufs[i] = make(map[pubKey]*pubBuf)
+		}
+		w.pubFlushStop = make(chan struct{})
+		w.pubFlusher = actor.NewLoop(1, func(int) bool {
+			select {
+			case <-w.pubFlushStop:
+				return false
+			case <-time.After(w.cfg.PublishLinger):
+			}
+			// Flush sentinels ride the same mailboxes as data, so a
+			// flush never reorders against the records it follows.
+			for i := 0; i < w.publish.Workers(); i++ {
+				w.publish.SendTo(i, outMsg{flush: true})
+			}
+			return true
+		})
+	}
 	w.sampling = actor.NewPool("sampling", w.cfg.SampleThreads, w.cfg.MailboxDepth, w.handleEvent)
 	// Dedicated pollers per input stream; consumers are not safe for
 	// concurrent use, so each stream gets exactly one goroutine.
@@ -354,7 +411,20 @@ func (w *Worker) Stop() {
 		w.sweeper.Stop()
 	}
 	w.sampling.Close()
+	if w.pubFlusher != nil {
+		close(w.pubFlushStop)
+		w.pubFlusher.Stop()
+		w.pubFlusher = nil
+	}
 	w.publish.Close()
+	// The publish pool has drained, so its actors are gone; flush any
+	// records still buffered from here (no concurrent owner remains).
+	for _, bufs := range w.pubBufs {
+		for _, pb := range bufs {
+			w.flushPub(pb)
+		}
+	}
+	w.pubBufs = nil
 }
 
 const (
@@ -473,9 +543,43 @@ func (w *Worker) pollSubs(c mq.Cursor) bool {
 	return true
 }
 
-func (w *Worker) handlePublish(_ int, m outMsg) {
+func (w *Worker) handlePublish(worker int, m outMsg) {
+	if w.cfg.PublishBatch <= 1 {
+		//lint:allow droppederror reason=best effort by design: a closed broker during shutdown drops the tail
+		_, _ = m.topic.Append(m.partition, m.key, m.payload)
+		return
+	}
+	bufs := w.pubBufs[worker]
+	if m.flush {
+		for _, pb := range bufs {
+			w.flushPub(pb)
+		}
+		return
+	}
+	pk := pubKey{topic: m.topic, partition: m.partition}
+	pb := bufs[pk]
+	if pb == nil {
+		pb = &pubBuf{topic: m.topic, partition: m.partition}
+		bufs[pk] = pb
+	}
+	pb.recs = append(pb.recs, mq.BatchRecord{Key: m.key, Value: m.payload})
+	w.pubPending.Add(1)
+	if len(pb.recs) >= w.cfg.PublishBatch {
+		w.flushPub(pb)
+	}
+}
+
+// flushPub appends a buffer's pending records as one batch. The broker
+// takes ownership of the payloads; the record slice itself is the
+// buffer's and is reused for the next batch.
+func (w *Worker) flushPub(pb *pubBuf) {
+	if len(pb.recs) == 0 {
+		return
+	}
 	//lint:allow droppederror reason=best effort by design: a closed broker during shutdown drops the tail
-	_, _ = m.topic.Append(m.partition, m.key, m.payload)
+	_, _ = pb.topic.AppendBatch(pb.partition, pb.recs)
+	w.pubPending.Add(-int64(len(pb.recs)))
+	pb.recs = pb.recs[:0]
 }
 
 // sendToServer enqueues an encoded message for serving worker sew.
@@ -517,7 +621,9 @@ func (w *Worker) Stats() Stats {
 		s.Panics += w.sampling.Panics.Value()
 	}
 	if w.publish != nil {
-		s.PublishDepth = w.publish.Depth()
+		// Buffered-but-unflushed batch records count as publish backlog so
+		// quiescence checks don't declare idle while batches are pending.
+		s.PublishDepth = w.publish.Depth() + int(w.pubPending.Load())
 		s.Panics += w.publish.Panics.Value()
 	}
 	return s

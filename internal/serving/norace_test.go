@@ -1,0 +1,6 @@
+//go:build !race
+
+package serving
+
+// raceEnabled reports whether the race detector is on; see race_test.go.
+const raceEnabled = false

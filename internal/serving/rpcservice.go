@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"helios/internal/codec"
@@ -17,6 +19,14 @@ import (
 
 // MethodSample is the RPC method name for sampling queries.
 const MethodSample = "helios.sample"
+
+// MethodSampleBatch carries a coalesced batch of sampling queries in one
+// frame: the frontend groups concurrent requests bound for the same
+// partition, the worker decodes the batch once and assembles every member
+// in a single actor turn. Per-member trace IDs and deadline budgets ride
+// in the payload, so each member keeps its own identity and deadline even
+// though the frame envelope carries only the batch-wide minimum.
+const MethodSampleBatch = "helios.sample_batch"
 
 // MethodPing is the health-probe method the frontend uses to re-admit a
 // replica it marked unhealthy after a failed call.
@@ -121,6 +131,141 @@ func errOr(r *codec.Reader, fallback error) error {
 	return fallback
 }
 
+// BatchItem is one member of a coalesced sampling batch.
+type BatchItem struct {
+	Query query.ID
+	Seed  graph.VertexID
+	// Trace is the member's own trace ID (0 = untraced).
+	Trace uint64
+	// Budget is the member's remaining deadline budget in nanoseconds,
+	// relative to the worker's receipt of the batch (<= 0 = no deadline).
+	// Like the frame-level budget, a relative duration needs no clock
+	// agreement between frontend and worker.
+	Budget int64
+}
+
+// BatchResult is one member's outcome from Client.SampleBatch,
+// index-aligned with the submitted items.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// Batch response member statuses.
+const (
+	batchOK      = 0 // followed by an AppendResult encoding
+	batchErr     = 1 // followed by an error string
+	batchExpired = 2 // the member's own deadline expired worker-side
+)
+
+// Cold batch protocol errors, hoisted out of the hot encode/decode paths.
+var (
+	errEmptyBatch        = errors.New("serving: empty sample batch")
+	errBadBatchStatus    = errors.New("serving: bad batch member status")
+	errBatchSizeMismatch = errors.New("serving: batch response size mismatch")
+)
+
+func batchTooLarge(n, max int) error {
+	return fmt.Errorf("serving: sample batch of %d exceeds worker bound %d", n, max)
+}
+
+// AppendBatchRequest encodes a coalesced batch request.
+//
+//lint:hotpath
+func AppendBatchRequest(w *codec.Writer, items []BatchItem) {
+	w.Uvarint(uint64(len(items)))
+	for i := range items {
+		it := &items[i]
+		w.Uvarint(uint64(it.Query))
+		w.Uvarint(uint64(it.Seed))
+		w.Uvarint(it.Trace)
+		w.Varint(it.Budget)
+	}
+}
+
+// DecodeBatchRequest parses a batch request into items (reusing its
+// backing array), consuming the whole buffer.
+//
+//lint:hotpath
+func DecodeBatchRequest(r *codec.Reader, items []BatchItem) ([]BatchItem, error) {
+	items = items[:0]
+	n := int(r.Uvarint())
+	if r.Err() != nil || n > r.Remaining() {
+		return items, errOr(r, codec.ErrShortBuffer)
+	}
+	for i := 0; i < n; i++ {
+		items = append(items, BatchItem{
+			Query:  query.ID(r.Uvarint()),
+			Seed:   graph.VertexID(r.Uvarint()),
+			Trace:  r.Uvarint(),
+			Budget: r.Varint(),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return items, err
+	}
+	return items, r.Finish()
+}
+
+// AppendBatchResponse encodes the per-member outcomes of a batch,
+// index-aligned with the request's items.
+//
+//lint:hotpath
+func AppendBatchResponse(w *codec.Writer, resps []Response) {
+	w.Uvarint(uint64(len(resps)))
+	for i := range resps {
+		rs := &resps[i]
+		switch {
+		case rs.Err == nil && rs.Result != nil:
+			w.Byte(batchOK)
+			AppendResult(w, rs.Result)
+		case errors.Is(rs.Err, rpc.ErrDeadlineExceeded):
+			// Typed across the hop like frameExpired: the member maps back
+			// to rpc.ErrDeadlineExceeded client-side without string matching.
+			w.Byte(batchExpired)
+		case rs.Err != nil:
+			w.Byte(batchErr)
+			w.String(rs.Err.Error())
+		default:
+			w.Byte(batchErr)
+			w.String("serving: missing result")
+		}
+	}
+}
+
+// DecodeBatchResponse parses the per-member outcomes of a batch,
+// consuming the whole buffer.
+func DecodeBatchResponse(r *codec.Reader) ([]BatchResult, error) {
+	n := int(r.Uvarint())
+	if r.Err() != nil || n > r.Remaining() {
+		return nil, errOr(r, codec.ErrShortBuffer)
+	}
+	out := make([]BatchResult, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Byte() {
+		case batchOK:
+			res, err := DecodeResult(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BatchResult{Result: res})
+		case batchErr:
+			out = append(out, BatchResult{Err: &rpc.RemoteError{Msg: r.String()}})
+		case batchExpired:
+			out = append(out, BatchResult{Err: rpc.ErrDeadlineExceeded})
+		default:
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errBadBatchStatus
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, r.Finish()
+}
+
 // ServeRPC registers the worker's sampling method on srv. The frame's
 // trace ID and deadline budget (if any) ride into the serving pool so the
 // worker records its leg of the trace, abandons work the caller gave up on,
@@ -129,26 +274,47 @@ func ServeRPC(w *Worker, srv *rpc.Server) {
 	srv.Handle(MethodPing, func(req []byte) ([]byte, error) {
 		return nil, nil
 	})
-	srv.HandleCtx(MethodSample, func(ctx rpc.Ctx, req []byte) ([]byte, error) {
+	srv.HandleBuf(MethodSample, func(ctx rpc.Ctx, req []byte, out *codec.Writer) error {
 		r := codec.NewReader(req)
 		qid := query.ID(r.Uvarint())
 		seed := graph.VertexID(r.Uvarint())
 		if err := r.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		res, err := w.ServeAdmitted(ctx, qid, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// The encode stage is observed (with the request's trace exemplar)
 		// but not appended as a span: the result's span list is part of the
 		// payload being encoded. Frontend-side it reads as rpc_transport
-		// residual.
+		// residual. out is the server's pooled response writer, so the
+		// steady-state encode allocates nothing.
 		encStart := w.cfg.Clock.Now()
-		cw := codec.NewWriter(1024)
-		AppendResult(cw, res)
+		AppendResult(out, res)
 		w.stEncode.Observe(w.cfg.Clock.Now().Sub(encStart).Nanoseconds(), ctx.Trace)
-		return cw.Bytes(), nil
+		return nil
+	})
+	srv.HandleBuf(MethodSampleBatch, func(ctx rpc.Ctx, req []byte, out *codec.Writer) error {
+		r := codec.NewReader(req)
+		items, err := DecodeBatchRequest(r, nil)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return errEmptyBatch
+		}
+		if max := w.cfg.MaxBatch; max > 0 && len(items) > max {
+			return batchTooLarge(len(items), max)
+		}
+		resps, err := w.ServeBatch(ctx, items)
+		if err != nil {
+			return err
+		}
+		encStart := w.cfg.Clock.Now()
+		AppendBatchResponse(out, resps)
+		w.stEncode.Observe(w.cfg.Clock.Now().Sub(encStart).Nanoseconds(), ctx.Trace)
+		return nil
 	})
 }
 
@@ -193,6 +359,43 @@ func (w *Worker) ServeAdmitted(ctx rpc.Ctx, qid query.ID, seed graph.VertexID) (
 	case <-t.C:
 		// The pool will still dequeue the request and fast-fail it; resp is
 		// buffered, so nothing leaks.
+		w.deadlineExp.Inc()
+		return nil, rpc.ErrDeadlineExceeded
+	}
+}
+
+// ServeBatch runs a coalesced batch through the worker's admission
+// limiter and the serve pool as one unit of work: one limiter slot, one
+// mailbox send, one actor turn assembling every member. The frame
+// deadline (the batch minimum, per the frontend's coalescing rule) bounds
+// the whole batch; each member's own budget is enforced per item inside
+// the turn. A shed sheds the whole batch — the degraded path stays a
+// single-request affair, since a batch under shed pressure is better
+// retried unbatched than answered with N stale results.
+func (w *Worker) ServeBatch(ctx rpc.Ctx, items []BatchItem) ([]Response, error) {
+	release, err := w.limiter.Acquire(ctx.Deadline)
+	if err != nil {
+		w.cfg.Logger.Warn(ctx.Trace, "serving.admission", "batch shed", "size", len(items), "err", err)
+		return nil, err
+	}
+	defer release()
+	resp := make(chan []Response, 1)
+	req := Request{Batch: items, BatchResp: resp, Trace: ctx.Trace}
+	if !ctx.Deadline.IsZero() {
+		req.Deadline = ctx.Deadline.UnixNano()
+	}
+	w.Submit(req)
+	if ctx.Deadline.IsZero() {
+		return <-resp, nil
+	}
+	t := time.NewTimer(ctx.Deadline.Sub(w.cfg.Clock.Now()))
+	defer t.Stop()
+	select {
+	case out := <-resp:
+		return out, nil
+	case <-t.C:
+		// The pool still dequeues the batch and fast-fails its members;
+		// resp is buffered, so nothing leaks.
 		w.deadlineExp.Inc()
 		return nil, rpc.ErrDeadlineExceeded
 	}
@@ -249,7 +452,10 @@ func (c *Client) SampleTraced(qid query.ID, seed graph.VertexID, trace uint64) (
 // the configured timeout alone.
 func (c *Client) SampleBudget(qid query.ID, seed graph.VertexID, trace uint64, budget time.Duration) (*Result, error) {
 	timeout := c.timeout
-	if budget > 0 && budget < timeout {
+	// A zero configured timeout means "no client-side bound", and any
+	// positive budget must still bound the call — comparing against the
+	// zero would silently discard the caller's deadline.
+	if budget > 0 && (timeout == 0 || budget < timeout) {
 		timeout = budget
 	}
 	w := codec.NewWriter(20)
@@ -265,6 +471,45 @@ func (c *Client) SampleBudget(qid query.ID, seed graph.VertexID, trace uint64, b
 		return nil, err
 	}
 	return res, r.Finish()
+}
+
+// SampleBatch executes a coalesced batch of sampling queries in one RPC
+// frame, returning per-member outcomes index-aligned with items. budget
+// bounds the whole call like SampleBudget's; the members' own budgets
+// ride inside the payload (BatchItem.Budget), so one short-deadline
+// member fails fast worker-side without extending or truncating its
+// batchmates.
+func (c *Client) SampleBatch(items []BatchItem, budget time.Duration) ([]BatchResult, error) {
+	timeout := c.timeout
+	if budget > 0 && (timeout == 0 || budget < timeout) {
+		timeout = budget
+	}
+	// The frame trace is the first traced member's ID — enough to correlate
+	// the worker's encode-stage exemplar; every member keeps its own trace
+	// in the payload.
+	var trace uint64
+	for i := range items {
+		if items[i].Trace != 0 {
+			trace = items[i].Trace
+			break
+		}
+	}
+	w := codec.GetWriter()
+	AppendBatchRequest(w, items)
+	resp, err := c.c.CallTraced(MethodSampleBatch, trace, w.Bytes(), timeout)
+	codec.PutWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	r := codec.NewReader(resp)
+	out, err := DecodeBatchResponse(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(items) {
+		return nil, errBatchSizeMismatch
+	}
+	return out, nil
 }
 
 // Close closes the connection.

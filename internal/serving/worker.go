@@ -71,6 +71,10 @@ type Config struct {
 	// the broker (broker-side lag for ingestion backpressure); 0 defaults
 	// to 100ms.
 	CommitEvery time.Duration
+	// MaxBatch caps the members accepted in one MethodSampleBatch frame —
+	// a bound on how much work one admission slot can represent. 0
+	// defaults to 1024; binaries set it via -batch-max.
+	MaxBatch int
 	// Clock is the time source for latency stamps, TTL sweeps, and request
 	// spans; nil defaults to the wall clock. Tests inject a fake so latency
 	// assertions never sleep.
@@ -123,6 +127,9 @@ func (c *Config) fill() error {
 	if c.CommitEvery <= 0 {
 		c.CommitEvery = 100 * time.Millisecond
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
 	}
@@ -151,6 +158,16 @@ type Request struct {
 	// or mid-assembly — fails fast with rpc.ErrDeadlineExceeded instead of
 	// finishing work the caller already abandoned.
 	Deadline int64
+	// Batch, when non-nil, makes this a coalesced multi-query request: the
+	// serving actor assembles every member in one turn and answers on
+	// BatchResp (Query/Seed/Resp/Trace are ignored; routing keys on the
+	// first member's seed). Member deadlines derive from BatchItem.Budget
+	// pinned at Enqueued, each additionally capped by Deadline — the
+	// batch-wide minimum the frame carried.
+	Batch []BatchItem
+	// BatchResp receives the per-member responses, index-aligned with
+	// Batch. Must be buffered, like Resp.
+	BatchResp chan<- []Response
 }
 
 // Response carries the assembled result.
@@ -490,7 +507,12 @@ func decodeSamples(buf []byte) (samples []wire.SampleRef, touch int64, err error
 		samples[i].Ts = graph.Timestamp(r.Varint())
 		samples[i].Weight = r.Float32()
 	}
-	return samples, touch, r.Err()
+	// Finish, not Err: a value with trailing bytes is corrupt, not merely
+	// short, and must not decode as a valid sample set.
+	if err := r.Finish(); err != nil {
+		return nil, 0, err
+	}
+	return samples, touch, nil
 }
 
 func encodeFeature(feat []float32, touch int64) []byte {
@@ -504,7 +526,12 @@ func decodeFeature(buf []byte) (feat []float32, touch int64, err error) {
 	r := codec.NewReader(buf)
 	touch = r.Varint()
 	feat = r.Float32s()
-	return feat, touch, r.Err()
+	// Finish, not Err: trailing bytes mean a corrupt value, which must not
+	// decode as a valid feature.
+	if err := r.Finish(); err != nil {
+		return nil, 0, err
+	}
+	return feat, touch, nil
 }
 
 // applyMessage is the data-updating pool handler. It runs once per queue
@@ -555,19 +582,66 @@ func (w *Worker) applyMessage(_ int, m wire.Message) {
 }
 
 // Submit enqueues a request on the serving pool; the response arrives on
-// req.Resp. Requests for one seed serialize on one serving actor.
+// req.Resp (or req.BatchResp for a coalesced batch). Requests for one
+// seed serialize on one serving actor; a batch serializes behind its
+// first member's seed.
 func (w *Worker) Submit(req Request) {
 	if req.Enqueued == 0 {
 		req.Enqueued = w.cfg.Clock.Now().UnixNano()
 	}
-	w.servePool.Send(uint64(req.Seed), req)
+	key := uint64(req.Seed)
+	if len(req.Batch) > 0 {
+		key = uint64(req.Batch[0].Seed)
+	}
+	w.servePool.Send(key, req)
 }
 
-// handleRequest is the serving actor turn: one queued request, checked
-// against its deadline, assembled, traced, and answered.
+// handleRequest is the serving actor turn: one queued request — or one
+// coalesced batch — checked against its deadline, assembled, traced, and
+// answered.
 //
 //lint:hotpath
 func (w *Worker) handleRequest(_ int, req Request) {
+	if req.Batch != nil {
+		w.handleBatch(req)
+		return
+	}
+	out := w.serveOne(req)
+	if req.Resp != nil {
+		req.Resp <- out
+	}
+}
+
+// handleBatch assembles every member of a coalesced batch back to back in
+// the one actor turn the batch occupies: one dequeue, K-hop loops run
+// consecutively, per-member stage spans and slow-log exactly as if each
+// had arrived alone. Members expired by their own budget fail fast
+// individually without disturbing their batchmates.
+//
+//lint:hotpath
+func (w *Worker) handleBatch(req Request) {
+	out := make([]Response, len(req.Batch))
+	for i := range req.Batch {
+		it := &req.Batch[i]
+		one := Request{Query: it.Query, Seed: it.Seed, Trace: it.Trace, Enqueued: req.Enqueued}
+		if it.Budget > 0 && req.Enqueued > 0 {
+			one.Deadline = req.Enqueued + it.Budget
+		}
+		if req.Deadline > 0 && (one.Deadline == 0 || req.Deadline < one.Deadline) {
+			one.Deadline = req.Deadline
+		}
+		out[i] = w.serveOne(one)
+	}
+	if req.BatchResp != nil {
+		req.BatchResp <- out
+	}
+}
+
+// serveOne runs one request's deadline check, assembly, stage spans,
+// slow-log and trace recording.
+//
+//lint:hotpath
+func (w *Worker) serveOne(req Request) Response {
 	start := w.cfg.Clock.Now()
 	if req.Deadline > 0 && start.UnixNano() >= req.Deadline {
 		// The caller's budget burned up while this request sat in the serve
@@ -578,10 +652,7 @@ func (w *Worker) handleRequest(_ int, req Request) {
 			w.cfg.Logger.Warn(req.Trace, obs.StageServingQueueWait,
 				"deadline expired in serve queue", "seed", uint64(req.Seed))
 		}
-		if req.Resp != nil {
-			req.Resp <- Response{Err: rpc.ErrDeadlineExceeded}
-		}
-		return
+		return Response{Err: rpc.ErrDeadlineExceeded}
 	}
 	res, err := w.sample(req.Query, req.Seed, req.Deadline, req.Trace)
 	end := w.cfg.Clock.Now()
@@ -619,9 +690,7 @@ func (w *Worker) handleRequest(_ int, req Request) {
 			Total: end.UnixNano() - traceStart, Spans: res.Stages,
 		})
 	}
-	if req.Resp != nil {
-		req.Resp <- Response{Result: res, Err: err, Latency: end.Sub(start)}
-	}
+	return Response{Result: res, Err: err, Latency: end.Sub(start)}
 }
 
 // unknownQuery is the outlined cold path for sample's plan lookup miss, so

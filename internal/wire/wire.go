@@ -118,11 +118,16 @@ func Append(w *codec.Writer, m *Message) {
 	}
 }
 
-// Encode serializes m to a fresh buffer.
+// Encode serializes m to a fresh buffer. Encoding goes through a pooled
+// writer so the (typically much larger) scratch array is reused across
+// messages; only the exact-size result escapes.
 func Encode(m *Message) []byte {
-	w := codec.NewWriter(32 + 16*len(m.Samples) + 4*len(m.Feature))
+	w := codec.GetWriter()
 	Append(w, m)
-	return w.Bytes()
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	codec.PutWriter(w)
+	return out
 }
 
 // Decode parses one message from buf.

@@ -70,4 +70,41 @@ while read -r name _; do
   fi
 done <"$tmpdir/base.txt"
 
+# Batch-throughput floor: the coalesced serve path must stay at least 2x
+# the single-request path (batch.qps_multiple_milli >= BATCH_MIN_MULTIPLE_MILLI).
+# Batching amortizes per-RPC framing and scheduling, so a multiple that
+# collapses toward 1x means the batched path regained per-request overhead
+# (lost pooling, per-member round trips, a decode-per-member slip, ...).
+BATCH_MIN_MULTIPLE_MILLI=${BATCH_MIN_MULTIPLE_MILLI:-2000}
+
+batch_baseline=BENCH_batch.json
+if [ ! -f "$batch_baseline" ]; then
+  echo "perf-regression: missing committed $batch_baseline; run 'go run ./cmd/helios-bench -metrics-json BENCH batch' and commit the snapshot" >&2
+  exit 1
+fi
+
+go run ./cmd/helios-bench -metrics-json "$tmpdir/FRESH" batch >"$tmpdir/batch.log" 2>&1 || {
+  echo "perf-regression: helios-bench batch failed:" >&2
+  cat "$tmpdir/batch.log" >&2
+  exit 1
+}
+batch_fresh="$tmpdir/FRESH_batch.json"
+
+multiple() {
+  sed -n 's/^[[:space:]]*"batch\.qps_multiple_milli": \([0-9]*\),*$/\1/p' "$1"
+}
+
+fresh_mult=$(multiple "$batch_fresh")
+base_mult=$(multiple "$batch_baseline")
+if [ -z "$fresh_mult" ]; then
+  echo "perf-regression: no batch.qps_multiple_milli gauge in fresh snapshot $batch_fresh" >&2
+  exit 1
+fi
+if [ "$fresh_mult" -lt "$BATCH_MIN_MULTIPLE_MILLI" ]; then
+  echo "perf-regression: REGRESSION batched/single qps multiple ${fresh_mult} milli, floor ${BATCH_MIN_MULTIPLE_MILLI} (committed baseline ${base_mult:-none})" >&2
+  fail=1
+else
+  echo "perf-regression: ok batch qps multiple ${fresh_mult} milli (floor ${BATCH_MIN_MULTIPLE_MILLI}, committed baseline ${base_mult:-none})"
+fi
+
 exit "$fail"
