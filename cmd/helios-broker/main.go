@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +32,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the broker RPC on")
 	dir := flag.String("dir", "", "directory for durable log segments (empty = memory only)")
 	retain := flag.Int("retain", 0, "records retained per partition (0 = unbounded)")
+	replicas := flag.String("replicas", "", "comma-separated RPC addresses of all broker replicas (empty = unreplicated); index-aligned across the set")
+	self := flag.Int("self", 0, "this broker's index into -replicas")
+	quorum := flag.Int("quorum", 0, "replicas (leader included) that must hold an append before it is acked (0 = majority)")
+	fsyncMode := flag.String("fsync", "interval", "segment durability before ack: never, interval (every -sync-every appends), always")
+	syncEvery := flag.Int("sync-every", 0, "appends between fsyncs under -fsync interval (0 = 4096 default)")
+	replReportEvery := flag.Duration("repl-report-every", 500*time.Millisecond, "replication-status report cadence (doubles as the broker liveness beat)")
+	replDeadAfter := flag.Duration("repl-dead-after", 3*time.Second, "report silence before a replica's partitions fail over (replica 0 runs the controller)")
 	batchMax := flag.Int("batch-max", 0, "largest record batch accepted by one AppendBatch RPC (0 = 4096 default)")
 	maxIngestLag := flag.Int64("max-ingest-lag", 0, "refuse appends to the updates topic once a partition's unconsumed backlog exceeds this (0 = unlimited)")
 	deadAfter := flag.Duration("dead-after", 15*time.Second, "heartbeat silence before a worker counts as dead")
@@ -53,9 +61,20 @@ func main() {
 		log.Fatalf("helios-broker: %v", err)
 	}
 	obs.RegisterBuildInfo(obs.Default(), "helios-broker", nil)
-	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain, MaxAppendBatch: *batchMax})
+	fsync, ok := mq.ParseFsyncPolicy(*fsyncMode)
+	if !ok {
+		log.Fatalf("helios-broker: unknown -fsync %q (want never, interval or always)", *fsyncMode)
+	}
+	broker := mq.NewBroker(mq.Options{Dir: *dir, RetainRecords: *retain, SyncEvery: *syncEvery, Fsync: fsync, MaxAppendBatch: *batchMax})
 	if *maxIngestLag > 0 {
 		broker.SetLagBound(wire.TopicUpdates, *maxIngestLag)
+	}
+	var peers []string
+	if *replicas != "" {
+		peers = strings.Split(*replicas, ",")
+		if err := broker.EnableReplication(mq.ReplicationConfig{Self: *self, Peers: peers, Quorum: *quorum}); err != nil {
+			log.Fatalf("helios-broker: %v", err)
+		}
 	}
 	broker.RegisterMetrics(obs.Default())
 	rpc.RegisterMetrics(obs.Default())
@@ -89,6 +108,78 @@ func main() {
 	mq.ServeBroker(broker, srv)
 	coord.ServeRPC(coordinator, srv)
 	monitor.ServeRPC(collector, srv)
+
+	// Replication control plane: every replica serves the follower surface
+	// and reports its offsets; replica 0 additionally hosts the failover
+	// controller (clients resolve partition maps against it).
+	stopRepl := make(chan struct{})
+	var failover *coord.Failover
+	if peers != nil {
+		mq.ServeReplication(broker, srv)
+		if *self == 0 {
+			leadClients := make([]*rpc.Client, len(peers))
+			for i, addr := range peers {
+				if i == 0 {
+					continue
+				}
+				c, err := rpc.DialOpts(addr, rpc.Options{Reconnect: true})
+				if err != nil {
+					log.Fatalf("helios-broker: dial replica %d: %v", i, err)
+				}
+				leadClients[i] = c
+				defer c.Close()
+			}
+			failover = coord.NewFailover(coord.FailoverConfig{
+				Coordinator: coordinator,
+				Peers:       len(peers),
+				DeadAfter:   *replDeadAfter,
+				Logger:      logger,
+				Notify: func(peer int, pm mq.PartMap) error {
+					if peer == 0 {
+						broker.ApplyPartMap(pm)
+						return nil
+					}
+					return mq.SendLead(leadClients[peer], pm, *replDeadAfter)
+				},
+			})
+			failover.RegisterMetrics(obs.Default())
+			failover.ServeRPC(srv)
+			failover.Start(*replReportEvery)
+			defer failover.Stop()
+			go func() {
+				t := time.NewTicker(*replReportEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopRepl:
+						return
+					case <-t.C:
+						failover.Report(0, broker.ReplOffsets())
+					}
+				}
+			}()
+		} else {
+			coordC, err := rpc.DialOpts(peers[0], rpc.Options{Reconnect: true})
+			if err != nil {
+				log.Fatalf("helios-broker: dial coordinator: %v", err)
+			}
+			defer coordC.Close()
+			go func() {
+				t := time.NewTicker(*replReportEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopRepl:
+						return
+					case <-t.C:
+						//lint:allow droppederror reason=best-effort status beat; a missed report just reads as dead until the next one lands
+						_ = mq.ReportReplStatus(coordC, *self, broker.ReplOffsets(), *replReportEvery)
+					}
+				}
+			}()
+		}
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("helios-broker: %v", err)
@@ -118,12 +209,17 @@ func main() {
 	})
 	reporter.Start()
 	defer reporter.Stop()
-	logger.Info(0, "mq.lifecycle", "broker serving", "addr", addr, "dir", *dir, "retain", *retain)
+	logger.Info(0, "mq.lifecycle", "broker serving",
+		"addr", addr, "dir", *dir, "retain", *retain, "replicas", len(peers), "self", *self, "fsync", fsync.String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Info(0, "mq.lifecycle", "shutting down")
+	close(stopRepl)
+	if failover != nil {
+		failover.Stop()
+	}
 	reporter.Stop()
 	collector.Stop()
 	srv.Close()

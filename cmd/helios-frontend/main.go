@@ -29,11 +29,30 @@ import (
 	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
+	"helios/internal/rpc"
 )
+
+// busConn is the piece of *mq.RemoteBroker and *mq.Cluster the frontend
+// uses: queue traffic plus the control connection telemetry rides on.
+type busConn interface {
+	mq.Bus
+	Client() *rpc.Client
+}
+
+// dialBus connects to the queue tier: a replicated cluster when brokers
+// lists the replica set (ingest survives a broker leader failover via the
+// cluster client's re-resolution), else the single broker at brokerAddr.
+func dialBus(brokers, brokerAddr string) (busConn, error) {
+	if brokers != "" {
+		return mq.DialCluster(strings.Split(brokers, ","), "", 0)
+	}
+	return mq.DialBroker(brokerAddr, 0)
+}
 
 func main() {
 	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	brokers := flag.String("brokers", "", "comma-separated broker replica addresses (overrides -broker; first entry hosts the failover controller)")
 	servers := flag.String("servers", "", "comma-separated serving worker RPC addresses, partition-major (see replicas)")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	id := flag.Int("id", 0, "this frontend's index (names it in the cluster view)")
@@ -74,7 +93,7 @@ func main() {
 	if *servers == "" {
 		log.Fatalf("helios-frontend: -servers is required")
 	}
-	bus, err := mq.DialBroker(*brokerAddr, 0)
+	bus, err := dialBus(*brokers, *brokerAddr)
 	if err != nil {
 		log.Fatalf("helios-frontend: dial broker: %v", err)
 	}

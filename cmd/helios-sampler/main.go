@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -27,9 +29,28 @@ import (
 	"helios/internal/sampler"
 )
 
+// busConn is the piece of *mq.RemoteBroker and *mq.Cluster the worker
+// binaries use: queue traffic plus the control connection heartbeats and
+// telemetry ride on.
+type busConn interface {
+	mq.Bus
+	Client() *rpc.Client
+}
+
+// dialBus connects to the queue tier: a replicated cluster when brokers
+// lists the replica set (leader routing and failover re-resolution live in
+// the cluster client), else the single broker at brokerAddr.
+func dialBus(brokers, brokerAddr string) (busConn, error) {
+	if brokers != "" {
+		return mq.DialCluster(strings.Split(brokers, ","), "", 0)
+	}
+	return mq.DialBroker(brokerAddr, 0)
+}
+
 func main() {
 	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	brokers := flag.String("brokers", "", "comma-separated broker replica addresses (overrides -broker; first entry hosts the failover controller)")
 	id := flag.Int("id", 0, "this worker's index in [0, samplers)")
 	sampleThreads := flag.Int("sample-threads", 0, "sampling actor count (0 = default)")
 	publishThreads := flag.Int("publish-threads", 0, "publisher actor count (0 = default)")
@@ -39,6 +60,8 @@ func main() {
 	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often poll positions are committed to the broker (the ingestion-lag signal)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (restored on start, written periodically)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval")
+	snapshotDir := flag.String("snapshot-dir", "", "warm-restart snapshot directory (derives the checkpoint path sampler-<id>.ckpt; overrides -checkpoint)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "snapshot interval under -snapshot-dir (0 = -checkpoint-every)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
 	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "cluster telemetry snapshot interval (0 = disabled)")
 	faults := flag.String("faultpoints", "", "arm deterministic fault injection, e.g. rpc.client.write=error (chaos drills)")
@@ -62,11 +85,17 @@ func main() {
 		log.Fatalf("helios-sampler: %v", err)
 	}
 	rpc.RegisterMetrics(obs.Default())
-	bus, err := mq.DialBroker(*brokerAddr, 0)
+	bus, err := dialBus(*brokers, *brokerAddr)
 	if err != nil {
 		log.Fatalf("helios-sampler: dial broker: %v", err)
 	}
 	defer bus.Close()
+	if *snapshotDir != "" {
+		*checkpoint = filepath.Join(*snapshotDir, fmt.Sprintf("sampler-%d.ckpt", *id))
+		if *snapshotEvery > 0 {
+			*checkpointEvery = *snapshotEvery
+		}
+	}
 
 	w, err := sampler.New(sampler.Config{
 		ID:             *id,
@@ -97,7 +126,9 @@ func main() {
 	}
 	if *checkpoint != "" {
 		if err := w.RestoreFile(*checkpoint); err == nil {
-			logger.Info(0, "sampler.checkpoint", "restored checkpoint", "path", *checkpoint)
+			upd, subs := w.ReplayFloor()
+			logger.Info(0, "sampler.checkpoint", "restored checkpoint",
+				"path", *checkpoint, "replay_from_upd", upd, "replay_from_subs", subs)
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("helios-sampler: restore: %v", err)
 		}

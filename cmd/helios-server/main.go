@@ -13,6 +13,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,9 +37,27 @@ func pick(flagVal, cfgVal int) int {
 	return cfgVal
 }
 
+// busConn is the piece of *mq.RemoteBroker and *mq.Cluster this binary
+// uses: queue traffic plus the control connection heartbeats and telemetry
+// ride on.
+type busConn interface {
+	mq.Bus
+	Client() *rpc.Client
+}
+
+// dialBus connects to the queue tier: a replicated cluster when brokers
+// lists the replica set, else the single broker at brokerAddr.
+func dialBus(brokers, brokerAddr string) (busConn, error) {
+	if brokers != "" {
+		return mq.DialCluster(strings.Split(brokers, ","), "", 0)
+	}
+	return mq.DialBroker(brokerAddr, 0)
+}
+
 func main() {
 	configPath := flag.String("config", "cluster.json", "shared cluster configuration file")
 	brokerAddr := flag.String("broker", "127.0.0.1:7070", "broker RPC address")
+	brokers := flag.String("brokers", "", "comma-separated broker replica addresses (overrides -broker; first entry hosts the failover controller)")
 	id := flag.Int("id", 0, "this worker's index in [0, servers)")
 	listen := flag.String("listen", "127.0.0.1:0", "address to serve sampling RPC on")
 	cacheDir := flag.String("cache-dir", "", "hybrid-mode cache spill directory (empty = memory only)")
@@ -47,6 +67,8 @@ func main() {
 	serveQueue := flag.Int("serve-queue", 0, "sampling RPCs queued for admission (0 = config's overload.maxQueue, or mailbox depth)")
 	degrade := flag.Bool("degrade", false, "serve degraded (cached, staleness-tagged) results instead of shedding when saturated (config's overload.degrade also enables)")
 	commitEvery := flag.Duration("commit-every", 100*time.Millisecond, "how often the sample-queue poll position is committed to the broker")
+	snapshotDir := flag.String("snapshot-dir", "", "warm-restart snapshot directory: serving-<id>.snap is restored on boot and rewritten every -snapshot-every (empty = snapshots off)")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "cache snapshot interval under -snapshot-dir")
 	batchMax := flag.Int("batch-max", 0, "largest sample batch accepted by one batched RPC (0 = 1024 default)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats log interval (0 = off)")
 	heartbeatEvery := flag.Duration("heartbeat-every", 5*time.Second, "coordinator heartbeat interval (0 = disabled)")
@@ -74,7 +96,7 @@ func main() {
 		log.Fatalf("helios-server: %v", err)
 	}
 	rpc.RegisterMetrics(obs.Default())
-	bus, err := mq.DialBroker(*brokerAddr, 0)
+	bus, err := dialBus(*brokers, *brokerAddr)
 	if err != nil {
 		log.Fatalf("helios-server: dial broker: %v", err)
 	}
@@ -109,6 +131,16 @@ func main() {
 	if ops != nil {
 		log.Printf("helios-server: ops on %s", ops.Addr())
 	}
+	snapPath := ""
+	if *snapshotDir != "" {
+		snapPath = filepath.Join(*snapshotDir, fmt.Sprintf("serving-%d.snap", *id))
+		if err := w.RestoreFile(snapPath); err == nil {
+			logger.Info(0, "serving.snapshot", "restored snapshot",
+				"path", snapPath, "replay_from", w.ReplayFloor())
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("helios-server: restore: %v", err)
+		}
+	}
 	w.Start()
 
 	srv := rpc.NewServer()
@@ -120,6 +152,22 @@ func main() {
 	log.Printf("helios-server: worker %d/%d serving on %s", *id, cfg.File.Servers, addr)
 
 	stop := make(chan struct{})
+	if snapPath != "" && *snapshotEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if err := w.SnapshotFile(snapPath); err != nil {
+						logger.Error(0, "serving.snapshot", "snapshot failed", "path", snapPath, "err", err)
+					}
+				}
+			}
+		}()
+	}
 	if *heartbeatEvery > 0 {
 		// Heartbeats ride the broker connection, which reconnects by
 		// itself — a worker cut off from the broker misses beats and is,

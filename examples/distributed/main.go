@@ -27,6 +27,7 @@ import (
 	"helios/internal/deploy"
 	"helios/internal/faultpoint"
 	"helios/internal/frontend"
+	"helios/internal/graph"
 	"helios/internal/monitor"
 	"helios/internal/mq"
 	"helios/internal/obs"
@@ -34,6 +35,7 @@ import (
 	"helios/internal/rpc"
 	"helios/internal/sampler"
 	"helios/internal/serving"
+	"helios/internal/wire"
 )
 
 const clusterConfig = `{
@@ -56,6 +58,7 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "flight-recorder capture directory (empty = captures disabled)")
 	chaos := flag.Bool("chaos", false, "after the demo, kill and restart the broker endpoint and prove reconvergence")
 	burst := flag.Bool("burst", false, "after the demo, slow the serve path and fire a request storm to demo admission control and graceful degradation")
+	failoverDrill := flag.Bool("failover", false, "at the end, permanently kill a partition leader broker and prove zero quorum-acked records are lost across the promotion")
 	flag.Parse()
 
 	cfg, err := deploy.Parse([]byte(clusterConfig))
@@ -96,23 +99,104 @@ func main() {
 		fmt.Println("ops listening on", ops.Addr())
 	}
 
-	// --- helios-broker ---
-	broker := mq.NewBroker(mq.Options{})
-	broker.RegisterMetrics(reg)
-	brokerSrv := rpc.NewServer()
-	mq.ServeBroker(broker, brokerSrv)
-	monitor.ServeRPC(collector, brokerSrv)
-	brokerAddr, err := brokerSrv.Listen("127.0.0.1:0")
+	// --- coordinator endpoint ---
+	// The coordinator control surface (liveness registry, telemetry
+	// collector, broker failover controller) lives on its own RPC server, so
+	// killing a broker endpoint in the drills below never takes the control
+	// plane with it — the same separation -replicas deployments get by
+	// pointing clients at replica 0's address.
+	coordinator := coord.New(nil)
+	coordSrv := rpc.NewServer()
+	coord.ServeRPC(coordinator, coordSrv)
+	monitor.ServeRPC(collector, coordSrv)
+	coordAddr, err := coordSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer brokerSrv.Close()
-	defer broker.Close()
-	fmt.Println("broker listening on", brokerAddr)
+	defer coordSrv.Close()
+	fmt.Println("coordinator listening on", coordAddr)
+
+	// --- helios-broker ×3 (replicated, quorum 2) ---
+	const replicas = 3
+	brokers := make([]*mq.Broker, replicas)
+	brokerSrvs := make([]*rpc.Server, replicas)
+	brokerStop := make([]chan struct{}, replicas)
+	var brokerAddrs []string
+	for i := 0; i < replicas; i++ {
+		b := mq.NewBroker(mq.Options{})
+		srv := rpc.NewServer()
+		mq.ServeBroker(b, srv)
+		mq.ServeReplication(b, srv)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		brokers[i], brokerSrvs[i] = b, srv
+		brokerAddrs = append(brokerAddrs, addr)
+		// Close whatever server currently fronts this replica: the chaos
+		// drill swaps in a replacement endpoint, and closing the broker tier
+		// before the workers above have flushed would strand their final
+		// telemetry retrying a dead address.
+		i := i
+		defer func() { brokerSrvs[i].Close() }()
+		defer b.Close()
+	}
+	// One replica registers the queue metrics (shared registry; the gauges
+	// would collide registered thrice).
+	brokers[0].RegisterMetrics(reg)
+	for i, b := range brokers {
+		if err := b.EnableReplication(mq.ReplicationConfig{Self: i, Peers: brokerAddrs, Quorum: 2}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The failover controller promotes the most-caught-up live replica when
+	// a partition leader's status reports go silent.
+	fo := coord.NewFailover(coord.FailoverConfig{
+		Coordinator: coordinator,
+		Peers:       replicas,
+		DeadAfter:   time.Second,
+		Notify: func(peer int, pm mq.PartMap) error {
+			brokers[peer].ApplyPartMap(pm)
+			return nil
+		},
+	})
+	fo.RegisterMetrics(reg)
+	fo.ServeRPC(coordSrv)
+	fo.Start(200 * time.Millisecond)
+	defer fo.Stop()
+
+	// Every replica reports its replication offsets over RPC, exactly like
+	// the helios-broker binary; the report doubles as the liveness beat, so
+	// closing a replica's stop channel makes it go silent like a dead
+	// process.
+	for i := 0; i < replicas; i++ {
+		stop := make(chan struct{})
+		brokerStop[i] = stop
+		rc, err := rpc.DialOpts(coordAddr, rpc.Options{Reconnect: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rc.Close()
+		go func(i int, rc *rpc.Client) {
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					//lint:allow droppederror reason=best-effort status beat; a missed report just reads as dead until the next one lands
+					_ = mq.ReportReplStatus(rc, i, brokers[i].ReplOffsets(), time.Second)
+				}
+			}
+		}(i, rc)
+	}
+	fmt.Printf("broker replicas on %v (quorum 2)\n", brokerAddrs)
 
 	// --- helios-sampler ×2 ---
 	for i := 0; i < cfg.File.Samplers; i++ {
-		bus, err := mq.DialBroker(brokerAddr, 0)
+		bus, err := mq.DialCluster(brokerAddrs, coordAddr, 2*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -142,7 +226,7 @@ func main() {
 	// --- helios-server ×2 ---
 	var servingAddrs []string
 	for i := 0; i < cfg.File.Servers; i++ {
-		bus, err := mq.DialBroker(brokerAddr, 0)
+		bus, err := mq.DialCluster(brokerAddrs, coordAddr, 2*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -195,7 +279,7 @@ func main() {
 	}
 
 	// --- helios-frontend ---
-	fbus, err := mq.DialBroker(brokerAddr, 0)
+	fbus, err := mq.DialCluster(brokerAddrs, coordAddr, 2*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -238,6 +322,30 @@ func main() {
 		}
 		resp.Body.Close()
 	}
+	// postRetry drives an ingest until the gateway accepts it: a 202 means
+	// the broker append returned, which under replication means the record
+	// is held by a quorum.
+	postRetry := func(path string, body map[string]any) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Post(gateway+path, "application/json", bytes.NewReader(data))
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				return
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("POST %s never accepted (last status %d)", path, resp.StatusCode)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 	post("/ingest/vertex", map[string]any{"id": 1, "type": "User", "feature": []float32{1}})
 	for i := 0; i < 3; i++ {
 		post("/ingest/vertex", map[string]any{"id": 100 + i, "type": "Item", "feature": []float32{float32(i)}})
@@ -270,20 +378,23 @@ func main() {
 	fmt.Println("distributed topology demo complete")
 
 	if *chaos {
-		// Kill the broker's RPC endpoint mid-run. The retained log survives
+		// Kill broker 0's RPC endpoint mid-run. The retained log survives
 		// inside the Broker; every client connection dies and self-heals.
+		// (Its status beats keep flowing in-process, so the controller
+		// correctly does NOT fail its partitions over — this drill is about
+		// transport-level self-healing; -failover covers real broker death.)
 		fmt.Println("chaos: killing broker endpoint")
-		brokerSrv.Close()
-		// One doomed ingest exercises the retry path while the broker is
-		// down (the gateway answers 500 once the retry budget is spent).
+		brokerSrvs[0].Close()
+		// One ingest while the endpoint is down exercises the resolve/retry
+		// path (partitions led by a surviving replica still answer).
 		post("/ingest/vertex", map[string]any{"id": 999, "type": "Item", "feature": []float32{9}})
 
 		var srv2 *rpc.Server
 		for i := 0; i < 100; i++ {
 			srv2 = rpc.NewServer()
-			mq.ServeBroker(broker, srv2)
-			monitor.ServeRPC(collector, srv2)
-			if _, err = srv2.Listen(brokerAddr); err == nil {
+			mq.ServeBroker(brokers[0], srv2)
+			mq.ServeReplication(brokers[0], srv2)
+			if _, err = srv2.Listen(brokerAddrs[0]); err == nil {
 				break
 			}
 			srv2.Close()
@@ -293,33 +404,16 @@ func main() {
 		if srv2 == nil {
 			log.Fatalf("chaos: rebind broker endpoint: %v", err)
 		}
-		defer srv2.Close()
-		fmt.Println("chaos: broker endpoint restarted on", brokerAddr)
+		// No defer here: the broker-loop defer closes brokerSrvs[0], which
+		// now points at the replacement. A defer registered this late would
+		// run before the workers' teardown and kill the endpoint they are
+		// still flushing telemetry to.
+		brokerSrvs[0] = srv2
+		fmt.Println("chaos: broker endpoint restarted on", brokerAddrs[0])
 
 		// New data after the restart: a second CoPurchase hop. Retry until
 		// accepted — the first appends may race the reconnect, and broker
 		// appends are at-least-once anyway.
-		postRetry := func(path string, body map[string]any) {
-			data, err := json.Marshal(body)
-			if err != nil {
-				log.Fatal(err)
-			}
-			deadline := time.Now().Add(15 * time.Second)
-			for {
-				resp, err := http.Post(gateway+path, "application/json", bytes.NewReader(data))
-				if err != nil {
-					log.Fatal(err)
-				}
-				resp.Body.Close()
-				if resp.StatusCode == http.StatusAccepted {
-					return
-				}
-				if time.Now().After(deadline) {
-					log.Fatalf("chaos: POST %s never accepted (last status %d)", path, resp.StatusCode)
-				}
-				time.Sleep(20 * time.Millisecond)
-			}
-		}
 		postRetry("/ingest/vertex", map[string]any{"id": 103, "type": "Item", "feature": []float32{7}})
 		postRetry("/ingest/edge", map[string]any{"src": 101, "dst": 103, "type": "CoPurchase", "ts": 20})
 
@@ -427,6 +521,130 @@ func main() {
 		fmt.Printf("burst drill complete (ok=%d degraded=%d shed=%d deadline=%d total_shed=%d total_degraded=%d)\n",
 			okN.Load(), degradedN.Load(), shedN.Load(), deadlineN.Load(),
 			overload.TotalShed(), overload.TotalDegraded())
+	}
+
+	if *failoverDrill {
+		// Three new Click edges carrying the stream's largest timestamps:
+		// the TopK reservoir (fanout 3) keeps the largest-ts neighbors, so
+		// once these are applied, hop-1 for seed 1 must be EXACTLY
+		// {200, 201, 202}. Each 202 below means the append was
+		// quorum-acked — losing any of them across the failover would leave
+		// a stale item in the set, so the exact-set check below is the
+		// zero-lost-acks proof.
+		fmt.Println("failover: ingesting quorum-acked displacing edges")
+		for i := 0; i < 3; i++ {
+			postRetry("/ingest/vertex", map[string]any{"id": 200 + i, "type": "Item", "feature": []float32{float32(i)}})
+			postRetry("/ingest/edge", map[string]any{"src": 1, "dst": 200 + i, "type": "Click", "ts": 100 + i})
+		}
+
+		// The controller only fails over leaders it has seen report (a
+		// replica that never reported is "not started yet", not dead), so
+		// wait until every replica's status beats have registered — in a
+		// real deployment brokers report long before anything fails.
+		knownBy := time.Now().Add(15 * time.Second)
+		for {
+			known := 0
+			for _, w := range coordinator.Workers() {
+				if w.Kind == coord.KindBroker {
+					known++
+				}
+			}
+			if known == replicas {
+				break
+			}
+			if time.Now().After(knownBy) {
+				log.Fatalf("failover: only %d/%d replicas ever reported", known, replicas)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// Permanently kill the broker leading the updates partition those
+		// edges landed on: endpoint closed, status beats stopped — to the
+		// controller, the process is gone.
+		target := int(graph.Hash64(1) % uint64(cfg.File.Samplers))
+		leaderOf := func(part int) int {
+			pm := fo.PartMap()
+			return pm.Leader(wire.TopicUpdates, part, replicas)
+		}
+		victim := leaderOf(target)
+		fmt.Printf("failover: killing broker %d (leader of %s/%d)\n", victim, wire.TopicUpdates, target)
+		close(brokerStop[victim])
+		brokerSrvs[victim].Close()
+
+		promoteBy := time.Now().Add(30 * time.Second)
+		for leaderOf(target) == victim {
+			if time.Now().After(promoteBy) {
+				log.Fatal("failover: controller never promoted a new leader")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("failover: %s/%d promoted to broker %d (map v%d)\n",
+			wire.TopicUpdates, target, leaderOf(target), fo.PartMap().Version)
+
+		// Zero lost acks: every quorum-acked record must flow through the
+		// promoted leader into the serving tier.
+		want := map[uint64]bool{200: true, 201: true, 202: true}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var out struct {
+				Layers [][]uint64 `json:"layers"`
+			}
+			json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			exact := len(out.Layers) == 3 && len(out.Layers[1]) == len(want)
+			if exact {
+				for _, v := range out.Layers[1] {
+					if !want[v] {
+						exact = false
+					}
+				}
+			}
+			if exact {
+				fmt.Printf("sample after failover: hop-1=%v\n", out.Layers[1])
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("failover: quorum-acked records never served (last layers=%v)", out.Layers)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// Liveness after the promotion: fresh ingest lands on the new
+		// leader and flows end to end with the old leader still dead.
+		postRetry("/ingest/vertex", map[string]any{"id": 300, "type": "Item", "feature": []float32{3}})
+		postRetry("/ingest/edge", map[string]any{"src": 1, "dst": 300, "type": "Click", "ts": 200})
+		deadline = time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(gateway + "/sample?q=0&seed=1")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var out struct {
+				Layers [][]uint64 `json:"layers"`
+			}
+			json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			found := false
+			if len(out.Layers) == 3 {
+				for _, v := range out.Layers[1] {
+					if v == 300 {
+						found = true
+					}
+				}
+			}
+			if found {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("failover: post-failover ingest never materialized")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("failover drill complete (lost_acked=0 failovers=%d)\n", fo.Failovers.Value())
 	}
 
 	if *linger > 0 {

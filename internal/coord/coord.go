@@ -27,6 +27,10 @@ const (
 	// KindFrontend identifies frontend gateways (they report telemetry,
 	// not data-plane liveness).
 	KindFrontend WorkerKind = "frontend"
+	// KindBroker identifies broker replicas: their per-partition
+	// replication-status reports double as liveness beats, feeding the
+	// failover controller's leader-death detection (failover.go).
+	KindBroker WorkerKind = "broker"
 )
 
 // WorkerInfo is the registry entry for one worker.

@@ -1,0 +1,82 @@
+// Package fsx holds the crash-safe file primitives shared by every
+// component that persists state — sampler checkpoints, serving-cache
+// snapshots — so the temp+fsync+rename discipline lives in exactly one
+// place and every new snapshot path inherits it (and its fault hooks) for
+// free.
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+
+	"helios/internal/faultpoint"
+)
+
+// WriteFileAtomic writes data to path crash-safely: the image goes to a
+// temp file that is synced to stable storage before being renamed over
+// path, and the directory is synced so the rename itself survives power
+// loss. A crash at any step leaves either the previous file intact or a
+// torn .tmp that readers never open — never a torn file under path.
+//
+// faultName, when non-empty, names a faultpoint injected after the temp
+// file is created: on injection half the image lands on disk and the
+// writer aborts with no cleanup — exactly the artifact losing the process
+// mid-write would leave behind. Chaos drills arm it to prove restores
+// never open torn images.
+func WriteFileAtomic(path string, data []byte, faultName string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if faultName != "" {
+		if ferr := faultpoint.Inject(faultName); ferr != nil {
+			f.Write(data[:len(data)/2])
+			f.Close()
+			return ferr
+		}
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// ReadFile reads path whole, with an optional faultpoint (faultName
+// non-empty) modeling an image that cannot be read back after a crash.
+func ReadFile(path string, faultName string) ([]byte, error) {
+	if faultName != "" {
+		if err := faultpoint.Inject(faultName); err != nil {
+			return nil, err
+		}
+	}
+	return os.ReadFile(path)
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry is durable.
+func SyncDir(dir string) error {
+	if err := faultpoint.Inject("fsx.syncdir"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,83 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helios/internal/faultpoint"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, "")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back: %q %v", got, err)
+	}
+	// Overwrite is atomic too: the new image fully replaces the old.
+	if err := WriteFileAtomic(path, []byte("version-two"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadFile(path, ""); string(got) != "version-two" {
+		t.Fatalf("overwrite: %q", got)
+	}
+}
+
+// TestTornWriteLeavesPreviousImage: a crash mid-write (armed faultpoint —
+// half the image lands in the .tmp, no cleanup) must leave the previous
+// image intact under the target path. This is the invariant every
+// checkpoint and snapshot restore path relies on.
+func TestTornWriteLeavesPreviousImage(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, []byte("good"), "fsx.test.write"); err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.ErrorOnce("fsx.test.write")
+	err := WriteFileAtomic(path, []byte("torn-torn-torn"), "fsx.test.write")
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	got, rerr := ReadFile(path, "")
+	if rerr != nil || string(got) != "good" {
+		t.Fatalf("previous image damaged by torn write: %q %v", got, rerr)
+	}
+	// The torn artifact is the .tmp — exactly what a crash would leave —
+	// and it holds only a prefix of the aborted image.
+	tmp, err := os.ReadFile(path + ".tmp")
+	if err != nil {
+		t.Fatalf("torn .tmp missing: %v", err)
+	}
+	if len(tmp) >= len("torn-torn-torn") {
+		t.Fatalf("torn .tmp holds the full image (%d bytes)", len(tmp))
+	}
+
+	// The next successful write replaces both, torn leftovers included.
+	if err := WriteFileAtomic(path, []byte("recovered"), "fsx.test.write"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadFile(path, ""); string(got) != "recovered" {
+		t.Fatalf("post-recovery image: %q", got)
+	}
+}
+
+func TestReadFileFaultpoint(t *testing.T) {
+	defer faultpoint.Reset()
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteFileAtomic(path, []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.ErrorOnce("fsx.test.read")
+	if _, err := ReadFile(path, "fsx.test.read"); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected read failure, got %v", err)
+	}
+	if got, err := ReadFile(path, "fsx.test.read"); err != nil || string(got) != "x" {
+		t.Fatalf("disarmed read: %q %v", got, err)
+	}
+}

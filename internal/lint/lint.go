@@ -83,6 +83,11 @@ func DefaultOptions() *Options {
 			"helios/internal/rpc",
 			"helios/internal/mq",
 			"helios/internal/kvstore",
+			// The snapshot/checkpoint write paths: crash-safety claims rest
+			// on every fsync and rename being fault-injectable.
+			"helios/internal/fsx",
+			"helios/internal/sampler",
+			"helios/internal/serving",
 		},
 	}
 }

@@ -59,6 +59,50 @@ type Record struct {
 	Ts int64
 }
 
+// FsyncPolicy decides when segment bytes are fsynced relative to the
+// append ack. Whatever the policy, segment bytes are always *written*
+// before a record becomes visible to consumers; the policy only controls
+// how much of the OS page cache a power loss may take with it.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) fsyncs every SyncEvery appends — the
+	// historical behavior: an ack means the bytes reached the page cache,
+	// and a power loss can lose up to SyncEvery acked records (a process
+	// crash alone loses nothing; the cache survives it).
+	FsyncInterval FsyncPolicy = iota
+	// FsyncNever leaves durability to the OS and segment close.
+	FsyncNever
+	// FsyncAlways fsyncs before every append ack: an acked offset is on
+	// disk, full stop. This is what the replication quorum path wants —
+	// a quorum member's ack must survive its own power loss.
+	FsyncAlways
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, bool) {
+	switch s {
+	case "interval", "":
+		return FsyncInterval, true
+	case "never":
+		return FsyncNever, true
+	case "always":
+		return FsyncAlways, true
+	}
+	return FsyncInterval, false
+}
+
+// String returns the flag spelling of the policy.
+func (f FsyncPolicy) String() string {
+	switch f {
+	case FsyncNever:
+		return "never"
+	case FsyncAlways:
+		return "always"
+	}
+	return "interval"
+}
+
 // Options configures a broker.
 type Options struct {
 	// Dir enables disk segments under the given directory; empty keeps the
@@ -68,9 +112,13 @@ type Options struct {
 	// unbounded. Consumers fetching below the retained head are snapped
 	// forward to it (matching Kafka's earliest-offset reset).
 	RetainRecords int
-	// SyncEvery fsyncs disk segments after this many appends; 0 defaults
-	// to 4096. Ignored for memory-only brokers.
+	// SyncEvery fsyncs disk segments after this many appends under the
+	// FsyncInterval policy; 0 defaults to 4096. Ignored for memory-only
+	// brokers.
 	SyncEvery int
+	// Fsync selects the durability-vs-latency point for segment appends;
+	// the zero value is FsyncInterval. Ignored for memory-only brokers.
+	Fsync FsyncPolicy
 	// MaxAppendBatch caps the records one remote AppendBatch frame may
 	// carry (a bound on per-frame memory, not a local-API restriction);
 	// 0 defaults to 4096. Binaries set it via -batch-max.
@@ -84,6 +132,16 @@ type Broker struct {
 	topics    map[string]*Topic
 	lagBounds map[string]int64 // topic name -> lag bound for topics created later
 	closed    bool
+
+	// repl is the replication engine, write-once via EnableReplication
+	// before the broker serves traffic; nil on an unreplicated broker.
+	// Atomic so hot paths read it without touching b.mu.
+	repl atomic.Pointer[replicator]
+	// pm is the broker's current leadership view, version-gated by
+	// ApplyPartMap. Guarded by pmMu, not b.mu, so map refreshes never
+	// contend with topic lookups.
+	pmMu sync.RWMutex
+	pm   PartMap
 
 	// Appended counts records accepted across all topics.
 	Appended metrics.Counter
@@ -138,6 +196,12 @@ func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
 				return nil, err
 			}
 		}
+		if b.repl.Load() != nil {
+			// Replicated broker: pin the high watermark at the replayed
+			// end — a replica trusts its own durable log and lets the
+			// replication stream reconcile divergence (see demote).
+			p.hw = p.next
+		}
 		t.parts = append(t.parts, p)
 	}
 	b.topics[name] = t
@@ -153,6 +217,14 @@ func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
 func (b *Broker) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("mq.appended", b.Appended.Value)
 	reg.CounterFunc("mq.fetched", b.Fetched.Value)
+	// Follower replication acks, 0 until EnableReplication (registration
+	// order with enabling is a deployment detail; the closure re-resolves).
+	reg.CounterFunc("mq.follower_acks", func() int64 {
+		if r := b.replicatorRef(); r != nil {
+			return r.FollowerAcks.Value()
+		}
+		return 0
+	})
 	b.mu.Lock()
 	b.reg = reg
 	b.stAppend.Store(reg.Stage(obs.StageMQAppend))
@@ -184,6 +256,17 @@ func registerTopicGauges(reg *obs.Registry, t *Topic) {
 					return 0
 				}
 				return t.EndOffset(part) - c
+			},
+			"topic", t.name, "partition", strconv.Itoa(part))
+		// Replication lag from the leader's seat: log end minus the
+		// slowest follower's acked offset; 0 on an unreplicated broker or
+		// for partitions this broker does not lead.
+		reg.GaugeFunc("mq.replication_lag",
+			func() int64 {
+				if r := t.broker.replicatorRef(); r != nil {
+					return r.lag(t, part)
+				}
+				return 0
 			},
 			"topic", t.name, "partition", strconv.Itoa(part))
 	}
@@ -224,6 +307,9 @@ func (b *Broker) Close() error {
 				firstErr = err
 			}
 		}
+	}
+	if r := b.repl.Load(); r != nil {
+		r.close()
 	}
 	return firstErr
 }
@@ -275,6 +361,9 @@ func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error
 	if err := faultpoint.Inject("mq.append"); err != nil {
 		return 0, err
 	}
+	if err := t.broker.checkLeader(t.name, partitionIdx); err != nil {
+		return 0, err
+	}
 	if bound := t.lagBound.Load(); bound > 0 {
 		p := t.parts[partitionIdx]
 		p.mu.Lock()
@@ -285,10 +374,19 @@ func (t *Topic) Append(partitionIdx int, key uint64, value []byte) (int64, error
 		}
 	}
 	off, err := t.parts[partitionIdx].append(key, value)
-	if err == nil {
-		t.broker.Appended.Inc()
+	if err != nil {
+		return 0, err
 	}
-	return off, err
+	t.broker.Appended.Inc()
+	if r := t.broker.replicatorRef(); r != nil {
+		// The quorum wait happens outside every lock; a failed quorum
+		// leaves the record durable locally but unacked — the producer
+		// retries, and followers (or a demotion) reconcile the offset.
+		if err := r.replicate(t, partitionIdx, off, 1); err != nil {
+			return 0, err
+		}
+	}
+	return off, nil
 }
 
 // BatchRecord is one (key, value) pair of an AppendBatch call. The broker
@@ -317,6 +415,9 @@ func (t *Topic) AppendBatch(partitionIdx int, recs []BatchRecord) (int64, error)
 	if err := faultpoint.Inject("mq.append"); err != nil {
 		return 0, err
 	}
+	if err := t.broker.checkLeader(t.name, partitionIdx); err != nil {
+		return 0, err
+	}
 	// One admission decision for the whole batch: the lag bound is a
 	// coarse staleness valve, not an exact quota, so a batch is either
 	// wholly accepted or wholly shed (partial appends would leave the
@@ -331,10 +432,18 @@ func (t *Topic) AppendBatch(partitionIdx int, recs []BatchRecord) (int64, error)
 		}
 	}
 	off, err := t.parts[partitionIdx].appendBatch(recs)
-	if err == nil {
-		t.broker.Appended.Add(int64(len(recs)))
+	if err != nil {
+		return 0, err
 	}
-	return off, err
+	t.broker.Appended.Add(int64(len(recs)))
+	if r := t.broker.replicatorRef(); r != nil {
+		// Quorum-gate the whole batch as one unit (it landed contiguously
+		// at [off, off+len)); see Append for the failed-quorum contract.
+		if err := r.replicate(t, partitionIdx, off, len(recs)); err != nil {
+			return 0, err
+		}
+	}
+	return off, nil
 }
 
 // AppendByKey routes value to the partition owning key (same hash as the
@@ -389,6 +498,9 @@ func (t *Topic) EndOffset(partitionIdx int) int64 {
 func (t *Topic) Commit(partitionIdx int, offset int64) error {
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
 		return fmt.Errorf("mq: partition %d out of range for topic %q", partitionIdx, t.name)
+	}
+	if err := t.broker.checkLeader(t.name, partitionIdx); err != nil {
+		return err
 	}
 	p := t.parts[partitionIdx]
 	p.mu.Lock()

@@ -1,0 +1,443 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"helios/internal/codec"
+	"helios/internal/rpc"
+)
+
+// Cluster is a Bus over a replicated broker set: every operation routes to
+// the current leader of its target partition, and on ErrNotLeader or a
+// transport failure the client refreshes the coordinator's versioned
+// partition map and retries against the new leader — in-flight work rides
+// out a failover instead of being dropped. It is the multi-broker
+// counterpart of RemoteBroker, with the same at-least-once append
+// semantics (§4.1's replay contract absorbs the duplicates).
+
+// clusterResolveAttempts bounds one operation's leader-resolution loop.
+// Exhausting it surfaces the last error to the caller, whose own retry
+// loop (worker pollRetry, frontend shed-and-retry) takes over.
+const clusterResolveAttempts = 6
+
+// Cluster routes Bus traffic across broker replicas by partition leader.
+type Cluster struct {
+	peers   []string
+	clients []*rpc.Client // index-aligned with peers, reconnecting
+	coordC  *rpc.Client   // partition map + heartbeat/telemetry endpoint
+	timeout time.Duration
+
+	// retrySleep spaces leader-resolution attempts (the coordinator needs
+	// a detection interval to promote); tests shrink it.
+	retrySleep time.Duration
+	// refreshEvery rate-limits partition-map fetches so a herd of failing
+	// calls does not hammer the coordinator.
+	refreshEvery time.Duration
+
+	mu          sync.Mutex
+	pm          PartMap
+	lastRefresh time.Time
+	topics      map[string]*ClusterTopic
+}
+
+// DialCluster connects to every broker replica of peers plus the
+// coordinator endpoint serving MethodPartMap (empty coordAddr defaults to
+// peers[0], the conventional coordinator host). Like DialBroker, the
+// underlying clients are self-healing and a peer being down at dial time
+// is not an error.
+func DialCluster(peers []string, coordAddr string, timeout time.Duration) (*Cluster, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("mq: cluster needs ≥ 1 peer")
+	}
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	if coordAddr == "" {
+		coordAddr = peers[0]
+	}
+	c := &Cluster{
+		peers:        peers,
+		timeout:      timeout,
+		retrySleep:   100 * time.Millisecond,
+		refreshEvery: 50 * time.Millisecond,
+		topics:       make(map[string]*ClusterTopic),
+	}
+	for _, addr := range peers {
+		// A small retry budget: the leader-resolution loop above it is the
+		// real retry policy, and a dead peer should fail fast into a map
+		// refresh instead of backing off against a corpse.
+		cl, err := rpc.DialOpts(addr, rpc.Options{Reconnect: true, RetryBudget: 1})
+		if err != nil {
+			return nil, fmt.Errorf("mq: dial cluster peer %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, cl)
+	}
+	cc, err := rpc.DialOpts(coordAddr, rpc.Options{Reconnect: true, RetryBudget: 2})
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial coordinator %s: %w", coordAddr, err)
+	}
+	c.coordC = cc
+	return c, nil
+}
+
+// Client exposes the coordinator connection so co-located services
+// (heartbeats, telemetry) share it, mirroring RemoteBroker.Client.
+func (c *Cluster) Client() *rpc.Client { return c.coordC }
+
+// OpenTopic implements Bus: the topic is created on every reachable
+// replica (followers also auto-create it on the first replicate frame, so
+// one reachable peer is enough to proceed).
+func (c *Cluster) OpenTopic(name string, partitions int) (TopicHandle, error) {
+	w := codec.NewWriter(32)
+	w.String(name)
+	w.Uvarint(uint64(partitions))
+	created := 0
+	var lastErr error
+	// c.timeout budgets the whole replica sweep: a dead peer must not
+	// multiply the worst case by the replica count.
+	deadline := time.Now().Add(c.timeout)
+	for _, cl := range c.clients {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = rpc.ErrDeadlineExceeded
+			}
+			break
+		}
+		if _, err := cl.Call(methodOpenTopic, w.Bytes(), remaining); err != nil {
+			lastErr = err
+		} else {
+			created++
+		}
+	}
+	if created == 0 {
+		return nil, fmt.Errorf("mq: open topic %q on no replica: %w", name, lastErr)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.topics[name]; ok {
+		return t, nil
+	}
+	t := &ClusterTopic{cluster: c, name: name, parts: partitions}
+	c.topics[name] = t
+	return t, nil
+}
+
+// Close implements Bus.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.coordC.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// leader resolves the current leader peer for (topic, partition) under the
+// client's cached map.
+func (c *Cluster) leader(topic string, partition int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pm.Leader(topic, partition, len(c.peers))
+}
+
+// refreshMap fetches the coordinator's partition map, rate-limited so
+// concurrent failing calls collapse into one fetch. Best-effort: an
+// unreachable coordinator leaves the cached map in place (the static
+// partition % R default still routes most traffic correctly).
+func (c *Cluster) refreshMap() {
+	c.mu.Lock()
+	if time.Since(c.lastRefresh) < c.refreshEvery {
+		c.mu.Unlock()
+		return
+	}
+	c.lastRefresh = time.Now()
+	c.mu.Unlock()
+	pm, err := FetchPartMap(c.coordC, c.timeout)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if pm.Version >= c.pm.Version {
+		c.pm = pm
+	}
+	c.mu.Unlock()
+}
+
+// resolvable classifies an error as worth a map-refresh-and-retry: a
+// leadership rejection, a quorum timeout (the leader may be mid-demotion),
+// or a transport failure (the leader may be dead). Handler-level errors
+// like backpressure, and this client's own shutdown, propagate.
+func resolvable(err error) bool {
+	if IsNotLeader(err) || IsQuorumUnavailable(err) {
+		return true
+	}
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, rpc.ErrClosed) || errors.Is(err, rpc.ErrDeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// callLeader issues method against the current leader of (topic, part),
+// re-resolving leadership on failure. Unknown-topic responses re-create
+// the topic on that peer (the RemoteBroker restart-healing contract).
+func (c *Cluster) callLeader(topic string, parts, part int, method string, req []byte, timeout time.Duration) ([]byte, error) {
+	// timeout is a total budget across resolution attempts, like
+	// rpc.CallTraced: each retry gets only what remains, so a dead leader
+	// cannot multiply the caller's wait by the attempt count.
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	var lastErr error
+	for attempt := 0; attempt < clusterResolveAttempts; attempt++ {
+		if attempt > 0 {
+			c.refreshMap()
+		}
+		remaining := timeout
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				if lastErr == nil {
+					lastErr = rpc.ErrDeadlineExceeded
+				}
+				break
+			}
+		}
+		peer := c.leader(topic, part)
+		resp, err := c.clients[peer].Call(method, req, remaining)
+		if err == nil {
+			return resp, nil
+		}
+		if isUnknownTopic(err) {
+			w := codec.NewWriter(32)
+			w.String(topic)
+			w.Uvarint(uint64(parts))
+			//lint:allow droppederror reason=best-effort heal; the retried call below surfaces the real failure
+			_, _ = c.clients[peer].Call(methodOpenTopic, w.Bytes(), remaining)
+			lastErr = err
+			continue
+		}
+		if !resolvable(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt < clusterResolveAttempts-1 {
+			// Give the coordinator a detection interval before the next
+			// resolution; callers' own retry loops absorb longer outages.
+			time.Sleep(c.retrySleep)
+		}
+	}
+	return nil, lastErr
+}
+
+// ClusterTopic is a TopicHandle routed through a Cluster.
+type ClusterTopic struct {
+	cluster *Cluster
+	name    string
+	parts   int
+}
+
+// Name implements TopicHandle.
+func (t *ClusterTopic) Name() string { return t.name }
+
+// NumPartitions implements TopicHandle.
+func (t *ClusterTopic) NumPartitions() int { return t.parts }
+
+// Append implements TopicHandle.
+func (t *ClusterTopic) Append(partition int, key uint64, value []byte) (int64, error) {
+	w := codec.NewWriter(32 + len(value))
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	w.Uvarint(key)
+	w.Bytes32(value)
+	resp, err := t.cluster.callLeader(t.name, t.parts, partition, methodAppend, w.Bytes(), t.cluster.timeout)
+	if err != nil {
+		return 0, err
+	}
+	r := codec.NewReader(resp)
+	off := r.Varint()
+	return off, r.Err()
+}
+
+// AppendBatch implements TopicHandle.
+func (t *ClusterTopic) AppendBatch(partition int, recs []BatchRecord) (int64, error) {
+	if len(recs) == 0 {
+		return t.NextOffset(partition), nil
+	}
+	w := codec.GetWriter()
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	w.Uvarint(uint64(len(recs)))
+	for i := range recs {
+		w.Uvarint(recs[i].Key)
+		w.Bytes32(recs[i].Value)
+	}
+	resp, err := t.cluster.callLeader(t.name, t.parts, partition, methodAppendBatch, w.Bytes(), t.cluster.timeout)
+	codec.PutWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	r := codec.NewReader(resp)
+	off := r.Varint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return off, r.Finish()
+}
+
+// AppendByKey implements TopicHandle with the same routing hash as the
+// local broker.
+func (t *ClusterTopic) AppendByKey(key uint64, value []byte) (int64, error) {
+	return t.Append(int(hashPartition(key, t.parts)), key, value)
+}
+
+// NextOffset implements TopicHandle.
+func (t *ClusterTopic) NextOffset(partition int) int64 {
+	next, _, _ := t.meta(partition)
+	return next
+}
+
+// EndOffset implements TopicHandle (== NextOffset; see Topic.EndOffset).
+func (t *ClusterTopic) EndOffset(partition int) int64 {
+	return t.NextOffset(partition)
+}
+
+// Depth implements TopicHandle.
+func (t *ClusterTopic) Depth(partition int) int64 {
+	_, depth, _ := t.meta(partition)
+	return depth
+}
+
+// CommittedOffset implements TopicHandle (-1 when no replica is
+// reachable: unknown lag must not read as zero lag).
+func (t *ClusterTopic) CommittedOffset(partition int) int64 {
+	_, _, committed := t.meta(partition)
+	return committed
+}
+
+func (t *ClusterTopic) meta(partition int) (next, depth, committed int64) {
+	w := codec.NewWriter(32)
+	w.String(t.name)
+	w.Uvarint(uint64(partition))
+	resp, err := t.cluster.callLeader(t.name, t.parts, partition, methodMeta, w.Bytes(), t.cluster.timeout)
+	if err != nil {
+		return 0, 0, -1
+	}
+	r := codec.NewReader(resp)
+	return r.Varint(), r.Varint(), r.Varint()
+}
+
+// OpenConsumer implements TopicHandle. The cursor lives client-side, so a
+// failover mid-stream re-issues the fetch at the same offset against the
+// new leader — no records are skipped or dropped.
+func (t *ClusterTopic) OpenConsumer(partition int, from int64) Cursor {
+	return &ClusterConsumer{topic: t, partition: partition, offset: from}
+}
+
+// ClusterConsumer is a Cursor over a Cluster with long-poll fetches.
+type ClusterConsumer struct {
+	topic     *ClusterTopic
+	partition int
+	offset    int64
+}
+
+// Poll implements Cursor, chunking long waits below the broker's
+// server-side cap exactly like RemoteConsumer.Poll.
+func (c *ClusterConsumer) Poll(max int, wait time.Duration) ([]Record, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		chunk := wait
+		if chunk > maxServerFetchWait {
+			if chunk = time.Until(deadline); chunk > maxServerFetchWait {
+				chunk = maxServerFetchWait
+			}
+		}
+		recs, err := c.pollOnce(max, chunk)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if wait <= maxServerFetchWait || !time.Now().Before(deadline) {
+			return nil, nil
+		}
+	}
+}
+
+func (c *ClusterConsumer) pollOnce(max int, wait time.Duration) ([]Record, error) {
+	if wait < 0 {
+		wait = 0
+	}
+	w := codec.NewWriter(40)
+	w.String(c.topic.name)
+	w.Uvarint(uint64(c.partition))
+	w.Varint(c.offset)
+	w.Uvarint(uint64(max))
+	w.Uvarint(uint64(wait / time.Millisecond))
+	resp, err := c.topic.cluster.callLeader(c.topic.name, c.topic.parts, c.partition,
+		methodFetch, w.Bytes(), wait+c.topic.cluster.timeout)
+	if err != nil {
+		return nil, err
+	}
+	r := codec.NewReader(resp)
+	next := r.Varint()
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for i := 0; i < n; i++ {
+		rec := Record{Offset: r.Varint(), Key: r.Uvarint(), Ts: r.Varint()}
+		val := r.Bytes32()
+		v := make([]byte, len(val))
+		copy(v, val)
+		rec.Value = v
+		recs = append(recs, rec)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	c.offset = next
+	return recs, nil
+}
+
+// Offset implements Cursor.
+func (c *ClusterConsumer) Offset() int64 { return c.offset }
+
+// Committed implements Cursor (see Consumer.Committed).
+func (c *ClusterConsumer) Committed() int64 { return c.offset }
+
+// Commit implements Cursor: pushes the cursor position to the leader.
+func (c *ClusterConsumer) Commit() error {
+	w := codec.NewWriter(40)
+	w.String(c.topic.name)
+	w.Uvarint(uint64(c.partition))
+	w.Varint(c.offset)
+	_, err := c.topic.cluster.callLeader(c.topic.name, c.topic.parts, c.partition,
+		methodCommit, w.Bytes(), c.topic.cluster.timeout)
+	return err
+}
+
+// SeekTo implements Cursor.
+func (c *ClusterConsumer) SeekTo(offset int64) { c.offset = offset }
+
+// Lag implements Cursor (EndOffset - Committed).
+func (c *ClusterConsumer) Lag() int64 {
+	return c.topic.EndOffset(c.partition) - c.offset
+}
+
+var (
+	_ Bus         = (*Cluster)(nil)
+	_ TopicHandle = (*ClusterTopic)(nil)
+	_ Cursor      = (*ClusterConsumer)(nil)
+)

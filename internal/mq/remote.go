@@ -123,6 +123,11 @@ func ServeBroker(b *Broker, srv *rpc.Server) {
 		if part < 0 || part >= len(t.parts) {
 			return nil, fmt.Errorf("mq: partition %d out of range", part)
 		}
+		// Consumers read from the leader only: a follower's log may hold
+		// an unreplicated tail destined for truncation.
+		if err := b.checkLeader(name, part); err != nil {
+			return nil, err
+		}
 		wait := time.Duration(waitMS) * time.Millisecond
 		if wait > maxServerFetchWait {
 			wait = maxServerFetchWait
@@ -152,6 +157,11 @@ func ServeBroker(b *Broker, srv *rpc.Server) {
 		t, ok := b.Topic(name)
 		if !ok {
 			return nil, fmt.Errorf("mq: unknown topic %q", name)
+		}
+		// Offsets from a non-leader could overstate the log end by its
+		// unreplicated tail; make clients re-resolve instead.
+		if err := b.checkLeader(name, part); err != nil {
+			return nil, err
 		}
 		w := codec.NewWriter(30)
 		w.Varint(t.NextOffset(part))

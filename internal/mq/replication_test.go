@@ -1,0 +1,289 @@
+package mq
+
+import (
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"helios/internal/faultpoint"
+	"helios/internal/rpc"
+)
+
+// startReplicaSet boots n brokers serving both the client and replication
+// surfaces, wired into one replica set with the given quorum. Cleanup
+// closes everything; register a leak baseline before calling it so the
+// assert runs after the teardown.
+func startReplicaSet(t *testing.T, n, quorum int) ([]*Broker, []*rpc.Server, []string) {
+	t.Helper()
+	brokers := make([]*Broker, n)
+	srvs := make([]*rpc.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		b := NewBroker(Options{})
+		srv := rpc.NewServer()
+		ServeBroker(b, srv)
+		ServeReplication(b, srv)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brokers[i], srvs[i], addrs[i] = b, srv, addr
+	}
+	for i, b := range brokers {
+		cfg := ReplicationConfig{Self: i, Peers: addrs, Quorum: quorum, Timeout: time.Second}
+		if err := b.EnableReplication(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for i := range brokers {
+			srvs[i].Close()
+			brokers[i].Close()
+		}
+	})
+	return brokers, srvs, addrs
+}
+
+// leakCheck registers a cleanup that fails the test if goroutines did not
+// drain back to the baseline. Call it FIRST so it runs after every other
+// cleanup (t.Cleanup is LIFO).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= baseline+2 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		nb := runtime.Stack(buf, true)
+		t.Errorf("goroutines grew from %d to %d after teardown:\n%s",
+			baseline, runtime.NumGoroutine(), buf[:nb])
+	})
+}
+
+func TestReplicatedAppendReachesQuorum(t *testing.T) {
+	leakCheck(t)
+	brokers, _, _ := startReplicaSet(t, 3, 2)
+	tp, err := brokers[0].CreateTopic("t", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0's default leader is broker 0; the append must ack only
+	// after a follower holds it too.
+	off, err := tp.Append(0, 1, []byte("a"))
+	if err != nil || off != 0 {
+		t.Fatalf("append: off=%d err=%v", off, err)
+	}
+	// The ack implies >= quorum-1 followers applied the record; both
+	// should converge (the second follower's ack may land after ours).
+	for _, fi := range []int{1, 2} {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			ft, ok := brokers[fi].Topic("t")
+			if ok && ft.NextOffset(0) == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %d never applied the record", fi)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// The high watermark advanced past the batch: consumers see it.
+	recs, err := tp.NewConsumer(0, 0).Poll(10, 100*time.Millisecond)
+	if err != nil || len(recs) != 1 || string(recs[0].Value) != "a" {
+		t.Fatalf("leader consumer after quorum: %v %v", recs, err)
+	}
+	if acks := brokers[0].replicatorRef().FollowerAcks.Value(); acks < 1 {
+		t.Fatalf("follower ack counter stayed %d", acks)
+	}
+}
+
+func TestAppendToNonLeaderRejected(t *testing.T) {
+	leakCheck(t)
+	brokers, _, _ := startReplicaSet(t, 3, 2)
+	tp, err := brokers[0].CreateTopic("t", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1's default leader is broker 1; broker 0 must reject.
+	_, err = tp.Append(1, 1, []byte("a"))
+	if !IsNotLeader(err) {
+		t.Fatalf("want ErrNotLeader, got %v", err)
+	}
+	if IsFatal(err) {
+		t.Fatal("ErrNotLeader must not kill poll loops")
+	}
+}
+
+func TestFollowerDeathQuorumStillAcks(t *testing.T) {
+	leakCheck(t)
+	brokers, srvs, _ := startReplicaSet(t, 3, 2)
+	tp, err := brokers[0].CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.Append(0, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// One follower dies; quorum 2 of 3 still holds via the survivor.
+	srvs[2].Close()
+	brokers[2].Close()
+	for i := 0; i < 3; i++ {
+		if _, err := tp.Append(0, 2, []byte("b")); err != nil {
+			t.Fatalf("append %d with one dead follower: %v", i, err)
+		}
+	}
+	recs, err := tp.NewConsumer(0, 0).Poll(10, 100*time.Millisecond)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("consumer: %d recs, %v", len(recs), err)
+	}
+}
+
+// TestQuorumTimeoutFakeTimer drives the leader's quorum wait with a manual
+// timer channel: the only follower hangs (a raw listener that never
+// responds), the injected timer fires, and the append must fail with
+// ErrQuorumUnavailable without the record becoming visible to consumers.
+func TestQuorumTimeoutFakeTimer(t *testing.T) {
+	leakCheck(t)
+	hang, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hang.Close()
+	go func() {
+		for {
+			c, err := hang.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				//lint:allow droppederror reason=test sink draining a hung follower connection
+				_, _ = io.Copy(io.Discard, c)
+			}()
+		}
+	}()
+
+	fire := make(chan time.Time, 1)
+	b := NewBroker(Options{})
+	defer b.Close()
+	err = b.EnableReplication(ReplicationConfig{
+		Self:    0,
+		Peers:   []string{"127.0.0.1:1", hang.Addr().String()},
+		Quorum:  2,
+		Timeout: 300 * time.Millisecond, // bounds the hung follower RPC so its goroutine drains
+		After:   func(time.Duration) <-chan time.Time { return fire },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := b.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire <- time.Time{} // the quorum wait times out immediately
+	_, err = tp.Append(0, 1, []byte("a"))
+	if !IsQuorumUnavailable(err) {
+		t.Fatalf("want ErrQuorumUnavailable, got %v", err)
+	}
+	if IsFatal(err) {
+		t.Fatal("ErrQuorumUnavailable must not kill poll loops")
+	}
+	// The record was never acked and must stay below the high watermark.
+	recs, err := tp.NewConsumer(0, 0).Poll(10, 50*time.Millisecond)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("unacked record leaked to consumers: %v %v", recs, err)
+	}
+}
+
+// TestFsyncAlwaysTornWrite arms the segment fault hooks under FsyncAlways:
+// a failed append never enters the in-memory log, and an offset that was
+// never acked never resurfaces as committed state after a restart.
+func TestFsyncAlwaysTornWrite(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Fsync: FsyncAlways}
+	b := NewBroker(opts)
+	tp, err := b.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.Append(0, 1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn segment write: the append fails cleanly and the in-memory
+	// log is untouched — durability before visibility.
+	faultpoint.ErrorOnce("mq.segment.append")
+	if _, err := tp.Append(0, 2, []byte("torn")); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected append failure, got %v", err)
+	}
+	if n := tp.NextOffset(0); n != 1 {
+		t.Fatalf("failed append mutated the log: next=%d", n)
+	}
+
+	// A torn fsync: bytes may be in the page cache but the ack is
+	// withheld, so the producer knows to retry.
+	faultpoint.ErrorOnce("mq.segment.sync")
+	if _, err := tp.Append(0, 3, []byte("unsynced")); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected sync failure, got %v", err)
+	}
+	if n := tp.NextOffset(0); n != 1 {
+		t.Fatalf("unsynced append became visible: next=%d", n)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the same directory: the acked record is there; no
+	// offset the producer saw acked is missing.
+	faultpoint.Reset()
+	b2 := NewBroker(opts)
+	defer b2.Close()
+	tp2, err := b2.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tp2.NextOffset(0); n < 1 {
+		t.Fatalf("acked record lost across restart: next=%d", n)
+	}
+	recs, err := tp2.NewConsumer(0, 0).Poll(10, 100*time.Millisecond)
+	if err != nil || len(recs) < 1 || string(recs[0].Value) != "durable" {
+		t.Fatalf("acked record unreadable after restart: %v %v", recs, err)
+	}
+}
+
+func TestFatalityClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err   error
+		fatal bool
+	}{
+		{ErrNotLeader, false},
+		{ErrQuorumUnavailable, false},
+		{ErrClosed, true},
+		{rpc.ErrClosed, true},
+	} {
+		if got := IsFatal(tc.err); got != tc.fatal {
+			t.Errorf("IsFatal(%v) = %v, want %v", tc.err, got, tc.fatal)
+		}
+	}
+	// Both rejections must classify across an RPC hop, where they arrive
+	// as RemoteErrors carrying only the message text.
+	if !IsNotLeader(&rpc.RemoteError{Msg: "mq: not leader for t/1 (leader=2)"}) {
+		t.Error("remote ErrNotLeader not recognized")
+	}
+	if !IsQuorumUnavailable(&rpc.RemoteError{Msg: "mq: quorum unavailable: timeout with 0/1 follower acks for t/0 [0,1)"}) {
+		t.Error("remote ErrQuorumUnavailable not recognized")
+	}
+	if IsNotLeader(errors.New("other")) || IsQuorumUnavailable(errors.New("other")) {
+		t.Error("unrelated errors misclassified")
+	}
+}

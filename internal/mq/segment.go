@@ -19,6 +19,7 @@ type segment struct {
 	w       *bufio.Writer
 	pending int
 	every   int
+	policy  FsyncPolicy
 }
 
 // segmentPath keeps one file per topic/partition.
@@ -47,13 +48,18 @@ func (p *partition) openSegment(dir string) error {
 	if err != nil {
 		return fmt.Errorf("mq: open segment: %w", err)
 	}
-	p.seg = &segment{f: f, w: bufio.NewWriterSize(f, 1<<16), every: p.broker.opts.SyncEvery}
+	p.seg = &segment{f: f, w: bufio.NewWriterSize(f, 1<<16), every: p.broker.opts.SyncEvery, policy: p.broker.opts.Fsync}
 	return nil
 }
 
 // replay loads framed records from data, tolerating a truncated tail (a
 // crash mid-append loses at most the partial record, like Kafka's log
-// recovery).
+// recovery) and offset rewinds: a frame whose offset is at or below an
+// already-replayed one supersedes everything from that offset on. Rewinds
+// appear when a failed append or batch was retried (the orphaned first
+// attempt never became visible), and when a demoted leader's abandoned
+// tail was overwritten by the new leader's stream — in both cases the
+// later bytes are the authoritative log.
 func (p *partition) replay(data []byte) error {
 	rd := codec.NewReader(data)
 	var recs []Record
@@ -65,9 +71,17 @@ func (p *partition) replay(data []byte) error {
 		if rd.Err() != nil {
 			break // truncated tail
 		}
+		off := int64(offv)
+		if n := len(recs); n > 0 && off <= recs[n-1].Offset {
+			if off < recs[0].Offset {
+				recs = recs[:0]
+			} else {
+				recs = recs[:int(off-recs[0].Offset)]
+			}
+		}
 		v := make([]byte, len(val))
 		copy(v, val)
-		recs = append(recs, Record{Offset: int64(offv), Key: key, Value: v, Ts: ts})
+		recs = append(recs, Record{Offset: off, Key: key, Value: v, Ts: ts})
 	}
 	if len(recs) == 0 {
 		return nil
@@ -91,14 +105,28 @@ func (s *segment) append(rec Record) error {
 		return err
 	}
 	s.pending++
-	if s.pending >= s.every {
-		s.pending = 0
-		if err := s.w.Flush(); err != nil {
-			return err
-		}
-		return s.f.Sync()
+	if s.policy == FsyncInterval && s.pending >= s.every {
+		return s.sync()
 	}
 	return nil
+}
+
+// sync flushes buffered frames and fsyncs the file — the durability
+// boundary of the Fsync policy. Under FsyncAlways the partition calls it
+// once per append/batch before the records become visible; under
+// FsyncInterval it runs every SyncEvery appends; under FsyncNever only
+// close reaches it.
+func (s *segment) sync() error {
+	// Torn-write boundary: a fault here models power loss between the
+	// buffered write and its fsync.
+	if err := faultpoint.Inject("mq.segment.sync"); err != nil {
+		return err
+	}
+	s.pending = 0
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
 }
 
 func (s *segment) close() error {

@@ -4,11 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 
 	"helios/internal/codec"
 	"helios/internal/faultpoint"
+	"helios/internal/fsx"
 	"helios/internal/graph"
 	"helios/internal/query"
 	"helios/internal/sampling"
@@ -42,64 +41,29 @@ func (w *Worker) Checkpoint(out io.Writer) error {
 		blob := <-ch
 		cw.Bytes32(blob)
 	}
+	// The crash boundary for non-file sinks (piped or streamed
+	// checkpoints); file checkpoints get torn-write coverage from the
+	// fsx-level "sampler.checkpoint.write" hook in CheckpointFile.
+	if err := faultpoint.Inject("sampler.checkpoint.emit"); err != nil {
+		return err
+	}
 	_, err := out.Write(cw.Bytes())
 	return err
 }
 
-// CheckpointFile writes the checkpoint to path crash-safely: the image
-// goes to a temp file that is synced to stable storage before being
-// renamed over path, and the directory is synced so the rename itself
-// survives power loss. A crash at any step leaves either the previous
-// checkpoint intact or a torn .tmp that Restore never opens — never a
-// torn file under path. The faultpoint "sampler.checkpoint.write"
-// simulates a crash mid-write: half the image lands on disk and the
-// writer aborts with no cleanup, exactly what losing the process there
-// would leave behind.
+// CheckpointFile writes the checkpoint to path crash-safely via
+// fsx.WriteFileAtomic (temp + fsync + rename + dir sync): a crash at any
+// step leaves either the previous checkpoint intact or a torn .tmp that
+// Restore never opens — never a torn file under path. The faultpoint
+// "sampler.checkpoint.write" simulates a crash mid-write: half the image
+// lands on disk and the writer aborts with no cleanup, exactly what
+// losing the process there would leave behind.
 func (w *Worker) CheckpointFile(path string) error {
 	var buf bytes.Buffer
 	if err := w.Checkpoint(&buf); err != nil {
 		return err
 	}
-	data := buf.Bytes()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if ferr := faultpoint.Inject("sampler.checkpoint.write"); ferr != nil {
-		f.Write(data[:len(data)/2])
-		f.Close()
-		return ferr
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a just-renamed entry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsx.WriteFileAtomic(path, buf.Bytes(), "sampler.checkpoint.write")
 }
 
 // snapshotShard serializes one shard (runs inside the owning actor).
@@ -183,14 +147,23 @@ func (w *Worker) Restore(in io.Reader) error {
 	return r.Finish()
 }
 
-// RestoreFile loads a checkpoint from path.
+// RestoreFile loads a checkpoint from path. The faultpoint
+// "sampler.checkpoint.read" models an image that cannot be read back
+// after a crash.
 func (w *Worker) RestoreFile(path string) error {
-	f, err := os.Open(path)
+	data, err := fsx.ReadFile(path, "sampler.checkpoint.read")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return w.Restore(f)
+	return w.Restore(bytes.NewReader(data))
+}
+
+// ReplayFloor reports the stream offsets a restored (not yet started)
+// worker will resume its update and subscription consumers from — the
+// warm-restart pin: everything below it is already reflected in the
+// restored tables, so only the tail past it is replayed.
+func (w *Worker) ReplayFloor() (upd, subs int64) {
+	return w.startUpd, w.startSubs
 }
 
 func (w *Worker) shardOf(v graph.VertexID) *shard {

@@ -67,6 +67,11 @@ func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
 	if err := w2.Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
 		t.Fatal(err)
 	}
+	// The warm-restart pin: both phase-1 updates are in the restored
+	// tables, so replay must start at offset 2, not zero.
+	if upd, _ := w2.ReplayFloor(); upd != 2 {
+		t.Fatalf("update replay floor = %d, want the checkpointed offset 2", upd)
+	}
 	w2.Start()
 	defer w2.Stop()
 	drainQuiesce(t, b, w2)

@@ -1,0 +1,118 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"helios/internal/codec"
+	"helios/internal/fsx"
+)
+
+// Serving-cache snapshots: the serving worker's counterpart of the
+// sampler's checkpoint (PR 4), extending the same crash-safe
+// temp+fsync+rename discipline (now shared via fsx) to the sample/feature
+// cache. A snapshot pins the worker's sample-queue offset *before* dumping
+// the store, so restart = restore + replay of the tail past the pin — a
+// few seconds of records instead of the partition's whole history. Replay
+// over restored state is idempotent: cache messages are absolute
+// puts/deletes, so re-applying the overlap converges to the same cache.
+
+const snapshotMagic = "HELIOS-SEW-v1"
+
+// Snapshot writes the cache image to out. Call it on a live (or at least
+// not yet stopped) worker; the image is consistent-enough under concurrent
+// applies because the offset pin happens first — any message racing the
+// dump is at an offset at or past the pin and gets replayed on restore.
+func (w *Worker) Snapshot(out io.Writer) error {
+	cw := codec.NewWriter(1 << 16)
+	cw.String(snapshotMagic)
+	// Pin before dump: a record applied mid-dump may or may not be in the
+	// image, but its offset is ≥ the pin, so replay re-applies it either
+	// way (at-least-once, same as the sampler checkpoint contract).
+	cw.Varint(w.consumed.Load())
+	w.db.Range(func(k, v []byte) bool {
+		cw.Byte(1)
+		cw.Bytes32(k)
+		cw.Bytes32(v)
+		return true
+	})
+	cw.Byte(0)
+	_, err := out.Write(cw.Bytes())
+	return err
+}
+
+// SnapshotFile writes the snapshot to path crash-safely. The faultpoint
+// "serving.snapshot.write" simulates a crash mid-write (a torn .tmp that
+// Restore never opens).
+func (w *Worker) SnapshotFile(path string) error {
+	var buf bytes.Buffer
+	if err := w.Snapshot(&buf); err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(path, buf.Bytes(), "serving.snapshot.write")
+}
+
+// Restore loads a snapshot into a worker that has not been started: the
+// cache entries land in the store and the worker's sample-queue consumer
+// will open at the pinned offset instead of zero.
+func (w *Worker) Restore(in io.Reader) error {
+	w.lifeMu.Lock()
+	started := w.started
+	w.lifeMu.Unlock()
+	if started {
+		return fmt.Errorf("serving: restore requires a stopped worker")
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(data)
+	if r.String() != snapshotMagic {
+		return fmt.Errorf("serving: bad snapshot magic")
+	}
+	offset := r.Varint()
+	for {
+		tag := r.Byte()
+		if r.Err() != nil {
+			return fmt.Errorf("serving: truncated snapshot: %w", r.Err())
+		}
+		if tag == 0 {
+			break
+		}
+		k := r.Bytes32()
+		v := r.Bytes32()
+		if r.Err() != nil {
+			return fmt.Errorf("serving: corrupt snapshot entry: %w", r.Err())
+		}
+		// Bytes32 aliases the image buffer; the store takes ownership of
+		// what we hand it, so copy.
+		kc := make([]byte, len(k))
+		copy(kc, k)
+		vc := make([]byte, len(v))
+		copy(vc, v)
+		if err := w.db.Put(kc, vc); err != nil {
+			return err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	w.startOffset = offset
+	w.consumed.Store(offset)
+	return nil
+}
+
+// RestoreFile loads a snapshot from path. The faultpoint
+// "serving.snapshot.read" models an image unreadable after a crash.
+func (w *Worker) RestoreFile(path string) error {
+	data, err := fsx.ReadFile(path, "serving.snapshot.read")
+	if err != nil {
+		return err
+	}
+	return w.Restore(bytes.NewReader(data))
+}
+
+// ReplayFloor reports the sample-queue offset a restored (not yet
+// started) worker will resume consuming from — the warm-restart pin.
+func (w *Worker) ReplayFloor() int64 { return w.startOffset }

@@ -1,0 +1,107 @@
+package serving
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"helios/internal/faultpoint"
+	"helios/internal/graph"
+	"helios/internal/mq"
+	"helios/internal/wire"
+)
+
+// TestWarmRestartReplaysOnlyTail is the warm-restart contract: a restore
+// from a snapshot pinned at offset N replays only the records past N —
+// measurably fewer than the cold restart, which replays the whole log —
+// while converging to the same cache.
+func TestWarmRestartReplaysOnlyTail(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+
+	for v := graph.VertexID(1); v <= 5; v++ {
+		push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: v, Feature: []float32{float32(v)}})
+	}
+	waitApplied(t, w, 5)
+	path := filepath.Join(t.TempDir(), "serving.snap")
+	if err := w.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.VertexID(6); v <= 8; v++ {
+		push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: v, Feature: []float32{float32(v)}})
+	}
+	waitApplied(t, w, 8)
+	w.Stop()
+
+	// Warm: restore pins the consumer at the snapshot offset.
+	warm := newTestWorker(t, b)
+	if err := warm.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if floor := warm.ReplayFloor(); floor != 5 {
+		t.Fatalf("replay floor = %d, want the pinned offset 5", floor)
+	}
+	warm.Start()
+	waitApplied(t, warm, 3)
+	// Settle, then confirm nothing below the pin was re-applied.
+	time.Sleep(50 * time.Millisecond)
+	if n := warm.Stats().Applied; n != 3 {
+		t.Fatalf("warm restart applied %d records, want only the 3-record tail", n)
+	}
+	for v := graph.VertexID(1); v <= 8; v++ {
+		if !warm.HasFeature(v) {
+			t.Fatalf("feature %d missing after warm restart", v)
+		}
+	}
+	warm.Stop()
+
+	// Cold: no snapshot, the whole 8-record log replays.
+	cold := newTestWorker(t, b)
+	cold.Start()
+	waitApplied(t, cold, 8)
+	cold.Stop()
+	if n := cold.Stats().Applied; n != 8 {
+		t.Fatalf("cold restart applied %d records, want all 8", n)
+	}
+}
+
+// TestTornSnapshotNeverLoaded: a crash mid-snapshot (armed fsx faultpoint)
+// leaves the previous image intact under the target path; the torn .tmp is
+// never what Restore opens.
+func TestTornSnapshotNeverLoaded(t *testing.T) {
+	defer faultpoint.Reset()
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w := newTestWorker(t, b)
+	w.Start()
+
+	push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: 1, Feature: []float32{1}})
+	waitApplied(t, w, 1)
+	path := filepath.Join(t.TempDir(), "serving.snap")
+	if err := w.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: 2, Feature: []float32{2}})
+	waitApplied(t, w, 2)
+	faultpoint.ErrorOnce("serving.snapshot.write")
+	if err := w.SnapshotFile(path); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected snapshot failure, got %v", err)
+	}
+	w.Stop()
+
+	// The restore must see the LAST GOOD image: floor 1, vertex 1 only.
+	w2 := newTestWorker(t, b)
+	if err := w2.RestoreFile(path); err != nil {
+		t.Fatalf("previous image unreadable after torn write: %v", err)
+	}
+	if floor := w2.ReplayFloor(); floor != 1 {
+		t.Fatalf("replay floor = %d, want the last good pin 1", floor)
+	}
+	if !w2.HasFeature(1) || w2.HasFeature(2) {
+		t.Fatal("torn snapshot leaked into the restored image")
+	}
+}

@@ -248,8 +248,12 @@ type Worker struct {
 
 	samplesTopic mq.TopicHandle
 	consumed     atomic.Int64
-	lastCommit   atomic.Int64 // worker-clock ns of the last broker commit
-	pollers      *actor.Loop
+	// startOffset is where Start opens the sample-queue consumer: 0 for a
+	// cold start, the snapshot's pinned offset after Restore (warm
+	// restart replays only the tail past it). Written only before Start.
+	startOffset int64
+	lastCommit  atomic.Int64 // worker-clock ns of the last broker commit
+	pollers     *actor.Loop
 
 	// limiter admits sampling RPCs; degradedLim bounds the inline degraded
 	// path so a shed storm cannot convert itself into unbounded inline work.
@@ -367,7 +371,9 @@ func (w *Worker) registerMetrics() {
 func (w *Worker) Start() {
 	// The cursor is a plain struct opened outside lifeMu (cheap, no
 	// resources held) — a Start that loses the started race just drops it.
-	cons := w.samplesTopic.OpenConsumer(w.cfg.ID, 0)
+	// It opens at the snapshot's pinned offset (0 cold), so a restored
+	// worker replays only the tail its snapshot has not absorbed.
+	cons := w.samplesTopic.OpenConsumer(w.cfg.ID, w.startOffset)
 	w.lifeMu.Lock()
 	defer w.lifeMu.Unlock()
 	if w.started {

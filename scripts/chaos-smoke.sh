@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# chaos-smoke: boots the examples/distributed deployment in -chaos mode —
-# the demo converges, the broker's RPC endpoint is killed and restarted on
-# the same port, fresh data is ingested, and the pipeline must reconverge —
-# then scrapes /metrics and asserts the self-healing transport actually
-# exercised its reconnect and retry paths. Run via `make chaos-smoke`.
+# chaos-smoke: boots the examples/distributed deployment in -chaos
+# -failover mode — the demo converges, the broker's RPC endpoint is killed
+# and restarted on the same port, the pipeline must reconverge, and then a
+# partition leader is killed outright: the coordinator must promote a
+# follower, every quorum-acked record must survive (the drill asserts the
+# exact K-hop sample set), and ingest must keep working on the promoted
+# leader. Finally scrapes /metrics and asserts the self-healing transport
+# and the failover controller actually fired. Run via `make chaos-smoke`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,13 +23,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go run ./examples/distributed -chaos -ops-addr 127.0.0.1:0 -linger 60s \
+go run ./examples/distributed -chaos -failover -ops-addr 127.0.0.1:0 -linger 60s \
   -telemetry-every 250ms -flight-dir "$flightdir" >"$log" 2>&1 &
 pid=$!
 
-# Wait for the full chaos cycle: converge, kill, restart, reconverge.
+# Wait for the full cycle: converge, endpoint kill/restart, reconverge,
+# then the leader-kill failover drill (which runs after the chaos phase).
 for _ in $(seq 1 600); do
-  if grep -q "chaos reconvergence complete" "$log"; then
+  if grep -q "failover drill complete" "$log"; then
     break
   fi
   if ! kill -0 "$pid" 2>/dev/null; then
@@ -49,15 +53,26 @@ grep -Eq "chaos reconvergence complete \(reconnects=[1-9][0-9]* retries=[1-9][0-
   exit 1
 }
 
+# The failover drill proves zero lost acked records: it kills the leader of
+# the seed's updates partition after a quorum-acked write, waits for the
+# coordinator to promote a follower, and asserts the exact K-hop sample set
+# (every acked edge, nothing stale) plus post-failover ingest liveness. The
+# completion line carries the promotion count from the mq.failovers counter.
+grep -Eq "failover drill complete \(lost_acked=0 failovers=[1-9][0-9]*\)" "$log" || {
+  echo "chaos-smoke: failover drill lost records or never promoted:" >&2
+  grep "failover" "$log" >&2 || cat "$log" >&2
+  exit 1
+}
+
 addr=$(sed -n 's/^ops listening on //p' "$log" | head -1)
 [ -n "$addr" ] || { echo "chaos-smoke: no ops listener address in log" >&2; cat "$log" >&2; exit 1; }
 
 curl -sSf --max-time 10 "http://$addr/metrics" >"${log}.body"
-for metric in rpc.reconnects rpc.retries; do
+for metric in rpc.reconnects rpc.retries mq.failovers; do
   val=$(sed -n "s/^${metric} //p" "${log}.body" | head -1)
   if [ -z "$val" ] || [ "$val" = "0" ]; then
     echo "chaos-smoke: /metrics ${metric} missing or zero (got '${val}'):" >&2
-    grep "^rpc" "${log}.body" >&2 || cat "${log}.body" >&2
+    grep -E "^(rpc|mq)" "${log}.body" >&2 || cat "${log}.body" >&2
     exit 1
   fi
 done

@@ -64,6 +64,18 @@ grep -q "mq.consumer_lag" "${log}.body" || {
   exit 1
 }
 
+# The replicated broker tier exports its health even when nothing fails:
+# per-partition follower lag from the leaders and the controller's
+# promotion counter (zero here — the demo ran no failover drill).
+grep -q "mq.replication_lag" "${log}.body" || {
+  echo "obs-smoke: /metrics has no replication-lag gauges" >&2
+  exit 1
+}
+grep -q "mq.failovers" "${log}.body" || {
+  echo "obs-smoke: /metrics has no failover counter" >&2
+  exit 1
+}
+
 grep -q "slo.burn_rate_milli" "${log}.body" || {
   echo "obs-smoke: /metrics has no SLO burn gauges" >&2
   exit 1
