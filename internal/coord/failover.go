@@ -82,24 +82,25 @@ func NewFailover(cfg FailoverConfig) *Failover {
 // Report ingests one broker's replication status. The report is also the
 // broker's liveness beat: a replica that stops reporting is, correctly,
 // the one whose partitions fail over.
+//
+// Each report replaces the peer's previous one (last-write-wins, not
+// max-merge): a demoted replica legitimately rewinds its log when it
+// truncates the un-acked tail back to its high watermark, and promotion
+// must compare current offsets — a max-ever merge would let a stale
+// revived ex-leader look more caught-up than a replica that actually
+// holds every quorum-acked record.
 func (f *Failover) Report(peer int, entries []mq.ReplEntry) {
 	if peer < 0 || peer >= f.cfg.Peers {
 		return
 	}
 	f.cfg.Coordinator.Heartbeat(brokerName(peer), KindBroker)
+	m := make(map[mq.PartKey]int64, len(entries))
+	for _, e := range entries {
+		m[mq.PartKey{Topic: e.Topic, Partition: e.Partition}] = e.Next
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	m := f.status[peer]
-	if m == nil {
-		m = make(map[mq.PartKey]int64)
-		f.status[peer] = m
-	}
-	for _, e := range entries {
-		k := mq.PartKey{Topic: e.Topic, Partition: e.Partition}
-		if e.Next > m[k] {
-			m[k] = e.Next
-		}
-	}
+	f.status[peer] = m
 }
 
 // PartMap returns the controller's current leadership map.

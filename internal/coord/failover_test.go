@@ -141,6 +141,32 @@ func TestStepTieBreaksLowestIndex(t *testing.T) {
 	}
 }
 
+// TestReportRewindVisibleToPromotion pins last-write-wins report
+// semantics: a demoted replica truncates its un-acked tail back to the
+// high watermark and its next report legitimately rewinds Next. The
+// controller must promote on *current* offsets — under the old max-merge
+// a revived ex-leader's inflated max could win a later failover over a
+// replica that actually holds every quorum-acked record.
+func TestReportRewindVisibleToPromotion(t *testing.T) {
+	fk := clock.NewFake()
+	f := newTestFailover(fk, 3, nil)
+
+	// Broker 0 once reported 9 (its un-acked tail as ex-leader), then
+	// demoted and rewound to 4; broker 2 genuinely replicated through 7.
+	f.Report(0, entry("t", 1, 9))
+	f.Report(1, entry("t", 1, 9)) // the leader, soon dead
+	f.Report(2, entry("t", 1, 7))
+	fk.Advance(1500 * time.Millisecond)
+	f.Report(0, entry("t", 1, 4)) // post-demotion rewind
+	f.Report(2, entry("t", 1, 7))
+	f.Step()
+
+	pm := f.PartMap()
+	if got := pm.Leader("t", 1, 3); got != 2 {
+		t.Fatalf("promoted %d on a stale max-merged offset, want 2", got)
+	}
+}
+
 // TestRevivedReplicaGetsMapPushed: a replica that comes back after a
 // failover starts reporting again and must receive the current map on the
 // next round (its pushed version lags the controller's).

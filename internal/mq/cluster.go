@@ -89,8 +89,20 @@ func (c *Cluster) Client() *rpc.Client { return c.coordC }
 
 // OpenTopic implements Bus: the topic is created on every reachable
 // replica (followers also auto-create it on the first replicate frame, so
-// one reachable peer is enough to proceed).
+// one reachable peer is enough to proceed). Reopening a cached topic with
+// a different partition count is an error, mirroring broker-side
+// CreateTopic: a handle whose AppendByKey hashing disagrees with the
+// broker layout would silently misroute.
 func (c *Cluster) OpenTopic(name string, partitions int) (TopicHandle, error) {
+	c.mu.Lock()
+	cached, ok := c.topics[name]
+	c.mu.Unlock()
+	if ok {
+		if cached.parts != partitions {
+			return nil, fmt.Errorf("mq: topic %q open with %d partitions, requested %d", name, cached.parts, partitions)
+		}
+		return cached, nil
+	}
 	w := codec.NewWriter(32)
 	w.String(name)
 	w.Uvarint(uint64(partitions))
@@ -119,6 +131,10 @@ func (c *Cluster) OpenTopic(name string, partitions int) (TopicHandle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if t, ok := c.topics[name]; ok {
+		// A concurrent open won the insert race; same mismatch rule applies.
+		if t.parts != partitions {
+			return nil, fmt.Errorf("mq: topic %q open with %d partitions, requested %d", name, t.parts, partitions)
+		}
 		return t, nil
 	}
 	t := &ClusterTopic{cluster: c, name: name, parts: partitions}

@@ -13,6 +13,38 @@ import (
 	"helios/internal/rpc"
 )
 
+// TestClusterOpenTopicPartitionMismatch mirrors broker-side CreateTopic
+// semantics on the client: reopening a cached topic with a different
+// partition count must fail rather than hand back a handle whose
+// AppendByKey hashing disagrees with the broker layout.
+func TestClusterOpenTopicPartitionMismatch(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	srv := rpc.NewServer()
+	mq.ServeBroker(b, srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := mq.DialCluster([]string{addr}, addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.OpenTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.OpenTopic("t", 3); err == nil {
+		t.Fatal("reopening with a different partition count must fail")
+	}
+	tp, err := cl.OpenTopic("t", 2)
+	if err != nil || tp.NumPartitions() != 2 {
+		t.Fatalf("matching reopen: parts=%v err=%v", tp, err)
+	}
+}
+
 // TestClusterRidesOutLeaderFailover is the regression test for the
 // re-resolution contract: a cluster client (and its consumers) must
 // survive a partition leader dying — callLeader re-resolves the map from

@@ -1,6 +1,7 @@
 package mq
 
 import (
+	"bytes"
 	"sync"
 	"time"
 
@@ -106,8 +107,13 @@ func (p *partition) appendBatch(recs []BatchRecord) (int64, error) {
 }
 
 // appendAt applies a leader's replicate frame: records carrying explicit
-// offsets, contiguous from first. Offsets already present are skipped
-// (frames race and overlap; re-application is idempotent), and a frame
+// offsets, contiguous from first. Offsets already present are verified
+// against the frame — a matching record is skipped (frames race and
+// overlap; re-application is idempotent), while a mismatch means this
+// replica's log diverged from the leader's (a revived ex-leader whose
+// un-acked tail survived, e.g. restart-pinned under its own high
+// watermark): the log truncates to the divergence point and takes the
+// leader's records, mirroring Kafka's leader-epoch truncation. A frame
 // starting past the log end applies nothing — the returned next (< first)
 // tells the leader where to resend from. Returns the new log end and how
 // many records were actually applied.
@@ -122,8 +128,25 @@ func (p *partition) appendAt(first int64, recs []Record) (int64, int, error) {
 	}
 	applied := 0
 	for _, rec := range recs {
+		if rec.Offset < p.head {
+			continue // trimmed past: nothing retained to verify against
+		}
 		if rec.Offset < p.next {
-			continue
+			have := &p.records[int(rec.Offset-p.head)]
+			if have.Key == rec.Key && have.Ts == rec.Ts && bytes.Equal(have.Value, rec.Value) {
+				continue
+			}
+			// Divergence: everything from this offset on is the abandoned
+			// tail of a dead leadership — never quorum-acked under the
+			// current one. Drop it (clamping a restart-inflated high
+			// watermark with it) and append the authoritative records; the
+			// rewound segment frames are reconciled by replay's rewind
+			// handling, same as a demotion's.
+			p.records = p.records[:int(rec.Offset-p.head)]
+			p.next = rec.Offset
+			if p.hw > p.next {
+				p.hw = p.next
+			}
 		}
 		if p.seg != nil {
 			if err := p.seg.append(rec); err != nil {
@@ -180,6 +203,23 @@ func (p *partition) readRange(from, to int64) ([]Record, bool) {
 	start := int(from - p.head)
 	end := int(to - p.head)
 	return p.records[start:end:end], true
+}
+
+// reportOffset is the offset this replica advertises in its
+// replication-status report to the coordinator. A partition the broker
+// believes it leads advertises the high watermark — the quorum-acked
+// position — not the raw log end: the un-acked tail above hw is abandoned
+// on demotion, so counting it would let a revived ex-leader look more
+// caught-up in a later failover than a follower that actually holds every
+// acked record. A followed partition advertises the log end, which on a
+// follower is exactly its replication progress.
+func (p *partition) reportOffset(leading bool) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if leading && p.hw >= 0 && p.hw < p.next {
+		return p.hw
+	}
+	return p.next
 }
 
 // advanceHW raises the high watermark after a quorum ack, waking blocked

@@ -265,8 +265,12 @@ func (b *Broker) observeLeader(topic string, partition int, leader int, version 
 	return true
 }
 
-// ReplOffsets snapshots every partition's next-append offset, the payload
+// ReplOffsets snapshots every partition's replication offset, the payload
 // of the broker's periodic replication-status report to the coordinator.
+// Partitions this broker believes it leads report the high watermark (the
+// quorum-acked position) rather than the raw log end — the un-acked tail
+// is abandoned on demotion and must not inflate this replica's
+// caught-up-ness in a failover comparison (see partition.reportOffset).
 func (b *Broker) ReplOffsets() []ReplEntry {
 	b.mu.RLock()
 	topics := make([]*Topic, 0, len(b.topics))
@@ -274,10 +278,12 @@ func (b *Broker) ReplOffsets() []ReplEntry {
 		topics = append(topics, t)
 	}
 	b.mu.RUnlock()
+	r := b.replicatorRef()
 	var out []ReplEntry
 	for _, t := range topics {
-		for i := range t.parts {
-			out = append(out, ReplEntry{Topic: t.name, Partition: i, Next: t.NextOffset(i)})
+		for i, p := range t.parts {
+			leading := r != nil && b.leaderFor(t.name, i) == r.cfg.Self
+			out = append(out, ReplEntry{Topic: t.name, Partition: i, Next: p.reportOffset(leading)})
 		}
 	}
 	return out

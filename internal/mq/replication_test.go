@@ -261,6 +261,123 @@ func TestFsyncAlwaysTornWrite(t *testing.T) {
 	}
 }
 
+// TestReplOffsetsExcludeUnackedTail pins the status-report contract: a
+// leader whose append failed quorum holds the record above its high
+// watermark, and its replication-status report must advertise the
+// quorum-acked position — not the raw log end — so the abandoned tail can
+// never make this replica look most-caught-up in a later failover.
+func TestReplOffsetsExcludeUnackedTail(t *testing.T) {
+	leakCheck(t)
+	hang, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hang.Close()
+	go func() {
+		for {
+			c, err := hang.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				//lint:allow droppederror reason=test sink draining a hung follower connection
+				_, _ = io.Copy(io.Discard, c)
+			}()
+		}
+	}()
+
+	fire := make(chan time.Time, 1)
+	b := NewBroker(Options{})
+	defer b.Close()
+	err = b.EnableReplication(ReplicationConfig{
+		Self:    0,
+		Peers:   []string{"127.0.0.1:1", hang.Addr().String()},
+		Quorum:  2,
+		Timeout: 300 * time.Millisecond,
+		After:   func(time.Duration) <-chan time.Time { return fire },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := b.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire <- time.Time{}
+	if _, err := tp.Append(0, 1, []byte("a")); !IsQuorumUnavailable(err) {
+		t.Fatalf("want ErrQuorumUnavailable, got %v", err)
+	}
+	if n := tp.NextOffset(0); n != 1 {
+		t.Fatalf("log end = %d, want the un-acked record retained at 1", n)
+	}
+	for _, e := range b.ReplOffsets() {
+		if e.Topic == "t" && e.Partition == 0 && e.Next != 0 {
+			t.Fatalf("report advertises the un-acked tail: Next=%d, want hw 0", e.Next)
+		}
+	}
+}
+
+// TestAppendAtTruncatesDivergentTail pins the follower-side divergence
+// rule: a replicate frame overlapping the local log verifies the overlap
+// instead of skipping it. A mismatch — a revived ex-leader whose un-acked
+// tail survived under a restart-pinned high watermark — truncates to the
+// divergence point and takes the leader's records, so the follower can
+// never ack (and a later promotion never serve) records that differ from
+// what the leader streamed.
+func TestAppendAtTruncatesDivergentTail(t *testing.T) {
+	b := NewBroker(Options{})
+	defer b.Close()
+	tp, err := b.CreateTopic("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tp.parts[0]
+	// The replica's own log: "a" was quorum-acked, offsets 1-2 are an
+	// abandoned leadership tail a restart pinned under hw.
+	for _, v := range []string{"a", "stale-b", "stale-c"} {
+		if _, err := p.append(1, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.mu.Lock()
+	p.hw = p.next // the restart pin: trusts its own durable log
+	p.mu.Unlock()
+
+	// The new leader's authoritative stream for [1, 4).
+	frame := []Record{
+		{Offset: 1, Key: 2, Value: []byte("b"), Ts: 7},
+		{Offset: 2, Key: 2, Value: []byte("c"), Ts: 7},
+		{Offset: 3, Key: 2, Value: []byte("d"), Ts: 7},
+	}
+	next, applied, err := p.appendAt(1, frame)
+	if err != nil || next != 4 || applied != 3 {
+		t.Fatalf("appendAt: next=%d applied=%d err=%v, want 4, 3, nil", next, applied, err)
+	}
+	recs, ok := p.readRange(0, 4)
+	if !ok || len(recs) != 4 {
+		t.Fatalf("readRange: %d recs, ok=%v", len(recs), ok)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if string(recs[i].Value) != want {
+			t.Fatalf("offset %d holds %q, want %q", i, recs[i].Value, want)
+		}
+	}
+	p.mu.Lock()
+	hw := p.hw
+	p.mu.Unlock()
+	if hw > 1 {
+		t.Fatalf("hw = %d after divergence truncation, want clamped ≤ 1", hw)
+	}
+
+	// Re-sending the now-matching frame is a pure no-op (idempotent
+	// overlap): nothing truncated, nothing applied.
+	next, applied, err = p.appendAt(1, frame)
+	if err != nil || next != 4 || applied != 0 {
+		t.Fatalf("idempotent resend: next=%d applied=%d err=%v, want 4, 0, nil", next, applied, err)
+	}
+}
+
 func TestFatalityClassification(t *testing.T) {
 	for _, tc := range []struct {
 		err   error

@@ -22,15 +22,41 @@ const snapshotMagic = "HELIOS-SEW-v1"
 
 // Snapshot writes the cache image to out. Call it on a live (or at least
 // not yet stopped) worker; the image is consistent-enough under concurrent
-// applies because the offset pin happens first — any message racing the
-// dump is at an offset at or past the pin and gets replayed on restore.
+// applies because the offset pin and update-pool barrier happen first —
+// any message racing the dump is at an offset at or past the pin and gets
+// replayed on restore.
 func (w *Worker) Snapshot(out io.Writer) error {
 	cw := codec.NewWriter(1 << 16)
 	cw.String(snapshotMagic)
-	// Pin before dump: a record applied mid-dump may or may not be in the
-	// image, but its offset is ≥ the pin, so replay re-applies it either
-	// way (at-least-once, same as the sampler checkpoint contract).
-	cw.Varint(w.consumed.Load())
+	// Pin, then barrier, then dump. The poll loop advances consumed after
+	// messages are merely *enqueued* to the async update pool, so the pin
+	// alone is not a replay floor — a message below it could still be
+	// sitting in a mailbox when the dump runs, and restore would skip it
+	// forever. The barrier closes that window: it is sent after the pin and
+	// rides the same FIFO mailboxes, so by the time every update actor acks
+	// it, every message enqueued before the pin is applied and lands in the
+	// dump. Messages racing the dump are at or past the pin and get
+	// replayed on restore (at-least-once, same as the sampler checkpoint
+	// contract). lifeMu covers only the sends — Stop cannot close the pool
+	// mid-send; the acks are collected lock-free afterwards (a racing
+	// Close drains queued barriers before the actors exit, so every ack
+	// still arrives).
+	w.lifeMu.Lock()
+	pin := w.consumed.Load()
+	barriers := 0
+	var done chan struct{}
+	if w.started {
+		barriers = w.updatePool.Workers()
+		done = make(chan struct{}, barriers)
+		for i := 0; i < barriers; i++ {
+			w.updatePool.SendTo(i, cacheUpdate{barrier: done})
+		}
+	}
+	w.lifeMu.Unlock()
+	for i := 0; i < barriers; i++ {
+		<-done
+	}
+	cw.Varint(pin)
 	w.db.Range(func(k, v []byte) bool {
 		cw.Byte(1)
 		cw.Bytes32(k)

@@ -9,6 +9,7 @@ import (
 	"helios/internal/faultpoint"
 	"helios/internal/graph"
 	"helios/internal/mq"
+	"helios/internal/query"
 	"helios/internal/wire"
 )
 
@@ -65,6 +66,86 @@ func TestWarmRestartReplaysOnlyTail(t *testing.T) {
 	cold.Stop()
 	if n := cold.Stats().Applied; n != 8 {
 		t.Fatalf("cold restart applied %d records, want all 8", n)
+	}
+}
+
+// waitConsumed waits until the poll loop's cursor position reaches n —
+// which says nothing about how many of those messages the async update
+// pool has applied.
+func waitConsumed(t *testing.T, w *Worker, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.consumed.Load() >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("consumed only reached %d of %d", w.consumed.Load(), n)
+}
+
+// TestSnapshotWaitsForQueuedApplies is the applied-watermark regression
+// test: the poll loop advances consumed after messages are merely
+// *enqueued* to the async update pool, so a snapshot taken live must
+// barrier through the pool before dumping — otherwise a message below the
+// pinned replay floor can be queued-but-unapplied at dump time and be
+// permanently lost from the restored cache.
+func TestSnapshotWaitsForQueuedApplies(t *testing.T) {
+	b := mq.NewBroker(mq.Options{})
+	defer b.Close()
+	w, err := New(Config{
+		ID: 0, NumServers: 1,
+		Plans:         []*query.Plan{testPlan(t)},
+		Broker:        b,
+		UpdateThreads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+
+	// Stall the single update actor: its handler blocks acking an
+	// unbuffered barrier nobody receives yet.
+	stall := make(chan struct{})
+	w.updatePool.SendTo(0, cacheUpdate{barrier: stall})
+
+	// The poll loop enqueues these behind the stall and advances consumed
+	// past offsets that are NOT applied — exactly the lost-update window.
+	for v := graph.VertexID(1); v <= 3; v++ {
+		push(t, b, &wire.Message{Kind: wire.KindFeatureUpdate, Vertex: v, Feature: []float32{float32(v)}})
+	}
+	waitConsumed(t, w, 3)
+	if n := w.Stats().Applied; n != 0 {
+		t.Fatalf("applied %d with the update actor stalled", n)
+	}
+
+	// The snapshot must block on the pool barrier, not dump early.
+	path := filepath.Join(t.TempDir(), "serving.snap")
+	snapped := make(chan error, 1)
+	go func() { snapped <- w.SnapshotFile(path) }()
+	select {
+	case err := <-snapped:
+		t.Fatalf("snapshot completed over 3 unapplied queued messages: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	<-stall // release the actor: applies drain, then the barrier acks
+	if err := <-snapped; err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+
+	// The restored image must hold every message below its replay floor.
+	w2 := newTestWorker(t, b)
+	if err := w2.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if floor := w2.ReplayFloor(); floor != 3 {
+		t.Fatalf("replay floor = %d, want 3", floor)
+	}
+	for v := graph.VertexID(1); v <= 3; v++ {
+		if !w2.HasFeature(v) {
+			t.Fatalf("feature %d below the pin missing from the snapshot", v)
+		}
 	}
 }
 

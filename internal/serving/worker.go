@@ -259,7 +259,7 @@ type Worker struct {
 	// path so a shed storm cannot convert itself into unbounded inline work.
 	limiter     *overload.Limiter
 	degradedLim *overload.Limiter
-	updatePool   *actor.Pool[wire.Message]
+	updatePool   *actor.Pool[cacheUpdate]
 	servePool    *actor.Pool[Request]
 	sweeper      *actor.Loop
 	sweepStop    chan struct{}
@@ -380,7 +380,7 @@ func (w *Worker) Start() {
 		return
 	}
 	w.started = true
-	w.updatePool = actor.NewPool("cache-update", w.cfg.UpdateThreads, w.cfg.MailboxDepth, w.applyMessage)
+	w.updatePool = actor.NewPool("cache-update", w.cfg.UpdateThreads, w.cfg.MailboxDepth, w.applyUpdate)
 	w.servePool = actor.NewPool("serve", w.cfg.ServeThreads, w.cfg.MailboxDepth, w.handleRequest)
 	w.pollers = actor.NewLoop(1, func(int) bool { return w.poll(cons) })
 	if w.cfg.TTL > 0 {
@@ -438,7 +438,7 @@ func (w *Worker) poll(c mq.Cursor) bool {
 		if err != nil {
 			continue
 		}
-		w.updatePool.Send(uint64(m.Vertex), m)
+		w.updatePool.Send(uint64(m.Vertex), cacheUpdate{msg: m})
 	}
 	w.consumed.Store(c.Offset())
 	w.maybeCommit(c)
@@ -540,7 +540,30 @@ func decodeFeature(buf []byte) (feat []float32, touch int64, err error) {
 	return feat, touch, nil
 }
 
-// applyMessage is the data-updating pool handler. It runs once per queue
+// cacheUpdate is one update-pool mailbox item: a decoded cache message,
+// or — when barrier is non-nil — a snapshot barrier that acks on the
+// channel instead of touching the store. Barriers ride the same FIFO
+// mailboxes as messages, so acking one proves every message enqueued to
+// that actor before it has been fully applied (the sampler's
+// checkpoint-through-the-mailbox discipline).
+type cacheUpdate struct {
+	msg     wire.Message
+	barrier chan<- struct{}
+}
+
+// applyUpdate is the data-updating pool handler: barrier acks pass
+// through, everything else is a cache message.
+//
+//lint:hotpath
+func (w *Worker) applyUpdate(worker int, u cacheUpdate) {
+	if u.barrier != nil {
+		u.barrier <- struct{}{}
+		return
+	}
+	w.applyMessage(worker, u.msg)
+}
+
+// applyMessage applies one decoded cache message. It runs once per queue
 // message, which at paper scale is millions of times per second — the
 // hotpath discipline keeps the per-apply cost at the two unavoidable store
 // writes.
